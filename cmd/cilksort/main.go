@@ -1,0 +1,117 @@
+// Command cilksort runs the Cilksort benchmark (Fig. 1 / §6.2) on the
+// simulated cluster.
+//
+//	cilksort -n 1048576 -cutoff 16384 -ranks 32 -policy lazy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ityr"
+	"ityr/internal/apps/cilksort"
+)
+
+func parsePolicy(s string) (ityr.Policy, error) {
+	switch s {
+	case "nocache":
+		return ityr.NoCache, nil
+	case "wt", "writethrough":
+		return ityr.WriteThrough, nil
+	case "wb", "writeback":
+		return ityr.WriteBack, nil
+	case "lazy", "wbl":
+		return ityr.WriteBackLazy, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (nocache|wt|wb|lazy)", s)
+}
+
+func main() {
+	n := flag.Int64("n", 1<<20, "number of 4-byte elements")
+	cutoff := flag.Int64("cutoff", 16<<10, "serial cutoff")
+	ranks := flag.Int("ranks", 32, "number of simulated ranks")
+	cores := flag.Int("cores", 8, "cores (ranks) per node")
+	policy := flag.String("policy", "lazy", "cache policy: nocache|wt|wb|lazy")
+	seed := flag.Int64("seed", 1, "workload seed")
+	verify := flag.Bool("verify", true, "verify sortedness and checksum")
+	profile := flag.Bool("profile", false, "print the profiler breakdown")
+	traceFile := flag.String("tracefile", "", "write a Chrome-tracing JSON event log to this file")
+	flag.Parse()
+
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := ityr.Config{
+		Ranks:        *ranks,
+		CoresPerNode: *cores,
+		Pgas:         ityr.PgasConfig{Policy: pol},
+		Seed:         *seed,
+		Trace:        *traceFile != "",
+	}
+	rt := ityr.NewRuntime(cfg)
+	var sortTime ityr.Time
+	ok := true
+	err = rt.Run(func(s *ityr.SPMD) {
+		var a, b ityr.GSpan[cilksort.Elem]
+		if s.Rank() == 0 {
+			a = ityr.AllocArraySPMD[cilksort.Elem](s, *n, ityr.BlockCyclicDist)
+			b = ityr.AllocArraySPMD[cilksort.Elem](s, *n, ityr.BlockCyclicDist)
+		}
+		s.Barrier()
+		var before, after int64
+		s.RootExec(func(c *ityr.Ctx) { cilksort.Generate(c, a, uint64(*seed)) })
+		if *verify {
+			s.RootExec(func(c *ityr.Ctx) { before = cilksort.Checksum(c, a) })
+		}
+		rt.Profiler().Reset()
+		t0 := s.Now()
+		s.RootExec(func(c *ityr.Ctx) { cilksort.Sort(c, a, b, *cutoff) })
+		if s.Rank() == 0 {
+			sortTime = s.Now() - t0
+		}
+		if *verify {
+			s.RootExec(func(c *ityr.Ctx) {
+				after = cilksort.Checksum(c, a)
+				if !cilksort.IsSorted(c, a) || before != after {
+					ok = false
+				}
+			})
+		}
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("cilksort: n=%d cutoff=%d ranks=%d policy=%v\n", *n, *cutoff, *ranks, pol)
+	fmt.Printf("  sort time      %.3f ms (virtual)\n", float64(sortTime)/1e6)
+	fmt.Printf("  serial model   %.3f ms  -> speedup %.1fx\n",
+		float64(cilksort.SerialTime(*n))/1e6, float64(cilksort.SerialTime(*n))/float64(sortTime))
+	fmt.Printf("  steals=%d forks=%d cache: fetched %.2f MB, written back %.2f MB\n",
+		rt.Sched().Stats.Steals, rt.Sched().Stats.Forks,
+		float64(rt.Space().Stats.FetchBytes)/1e6, float64(rt.Space().Stats.WriteBackBytes)/1e6)
+	if *verify {
+		fmt.Printf("  verify         %v\n", ok)
+		if !ok {
+			os.Exit(1)
+		}
+	}
+	if *profile {
+		fmt.Print(rt.Profiler().Format(sortTime))
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rt.Trace().ChromeJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  trace          %d events -> %s\n", rt.Trace().Len(), *traceFile)
+	}
+}

@@ -1,0 +1,80 @@
+// Command itybench reproduces the paper's evaluation: it runs the
+// experiment behind every figure and table of §6 on the simulated cluster
+// and prints the corresponding rows/series.
+//
+// Usage:
+//
+//	itybench                 # all experiments at the default (full) scale
+//	itybench -fig 7          # only Figure 7
+//	itybench -scale quick    # reduced sizes
+//	itybench -env            # print the simulated environment (Table 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ityr/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment to run: 7, 8, 9, 10, 11, t2, abl, or all")
+	scaleName := flag.String("scale", "full", "experiment scale: smoke, quick, or full")
+	env := flag.Bool("env", false, "print the simulated environment (Table 1) and exit")
+	flag.Parse()
+
+	var sc bench.Scale
+	switch *scaleName {
+	case "smoke":
+		sc = bench.Smoke
+	case "quick":
+		sc = bench.Quick
+	case "full":
+		sc = bench.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	if *env {
+		bench.Table1(os.Stdout, sc)
+		return
+	}
+
+	run := func(name string, fn func()) {
+		t0 := time.Now()
+		fn()
+		fmt.Printf("   [%s: %.1fs host time]\n", name, time.Since(t0).Seconds())
+	}
+
+	switch *fig {
+	case "7":
+		run("fig7", func() { bench.Fig7(os.Stdout, sc) })
+	case "8":
+		run("fig8", func() { bench.Fig8(os.Stdout, sc) })
+	case "9":
+		run("fig9", func() { bench.Fig9(os.Stdout, sc) })
+	case "10":
+		run("fig10", func() { bench.Fig10(os.Stdout, sc) })
+	case "11":
+		run("fig11", func() { bench.Fig11(os.Stdout, sc) })
+	case "t2":
+		run("table2", func() { bench.Table2(os.Stdout, sc) })
+	case "abl":
+		run("ablations", func() { bench.Ablations(os.Stdout, sc) })
+	case "all":
+		bench.Table1(os.Stdout, sc)
+		run("fig7", func() { bench.Fig7(os.Stdout, sc) })
+		run("fig8", func() { bench.Fig8(os.Stdout, sc) })
+		run("fig9", func() { bench.Fig9(os.Stdout, sc) })
+		run("fig10", func() { bench.Fig10(os.Stdout, sc) })
+		run("fig11", func() { bench.Fig11(os.Stdout, sc) })
+		run("table2", func() { bench.Table2(os.Stdout, sc) })
+		run("ablations", func() { bench.Ablations(os.Stdout, sc) })
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

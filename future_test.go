@@ -1,0 +1,64 @@
+package ityr_test
+
+import (
+	"testing"
+
+	"ityr"
+)
+
+func fibFut(c *ityr.Ctx, n int) int {
+	c.Charge(2 * 1000) // 2 µs per call
+	if n < 2 {
+		return n
+	}
+	f := ityr.Async(c, func(c *ityr.Ctx) int { return fibFut(c, n-1) })
+	b := fibFut(c, n-2)
+	return f.Await(c) + b
+}
+
+func TestFutureFib(t *testing.T) {
+	var got int
+	_, err := ityr.LaunchRoot(testCfg(8, ityr.WriteBackLazy), func(c *ityr.Ctx) {
+		got = fibFut(c, 15)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 610 {
+		t.Fatalf("fib(15) = %d, want 610", got)
+	}
+}
+
+func TestFutureWithGlobalMemory(t *testing.T) {
+	_, err := ityr.LaunchRoot(testCfg(4, ityr.WriteBack), func(c *ityr.Ctx) {
+		a := ityr.AllocArray[int64](c, 1000, ityr.BlockCyclicDist)
+		ityr.Generate(c, a, func(i int64) int64 { return i })
+		l, r := a.SplitTwo()
+		fl := ityr.Async(c, func(c *ityr.Ctx) int64 { return ityr.Sum(c, l) })
+		sr := ityr.Sum(c, r)
+		total := fl.Await(c) + sr
+		if want := int64(1000 * 999 / 2); total != want {
+			t.Errorf("total = %d, want %d", total, want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFutureStructResult(t *testing.T) {
+	type stats struct{ Min, Max int64 }
+	_, err := ityr.LaunchRoot(testCfg(4, ityr.WriteBackLazy), func(c *ityr.Ctx) {
+		f := ityr.Async(c, func(c *ityr.Ctx) stats {
+			c.Charge(1000)
+			return stats{Min: -5, Max: 42}
+		})
+		s := f.Await(c)
+		if s.Min != -5 || s.Max != 42 {
+			t.Errorf("stats = %+v", s)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

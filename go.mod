@@ -1,0 +1,3 @@
+module ityr
+
+go 1.22

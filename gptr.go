@@ -1,0 +1,170 @@
+package ityr
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// GPtr is a typed global pointer: a unified 64-bit global virtual address
+// (§3.2) that refers to the same object on every rank. T must be a
+// plain-old-data type containing no Go pointers — store GPtr values, not
+// native pointers, inside global objects.
+type GPtr[T any] struct{ addr Addr }
+
+// PtrAt wraps a raw global address as a typed pointer.
+func PtrAt[T any](a Addr) GPtr[T] { return GPtr[T]{addr: a} }
+
+// Addr returns the raw global address.
+func (p GPtr[T]) Addr() Addr { return p.addr }
+
+// IsNil reports whether the pointer is the zero (null) global pointer.
+func (p GPtr[T]) IsNil() bool { return p.addr == 0 }
+
+// Add returns the pointer displaced by n elements.
+func (p GPtr[T]) Add(n int64) GPtr[T] {
+	return GPtr[T]{addr: Addr(int64(p.addr) + n*int64(SizeOf[T]()))}
+}
+
+// Span returns the n-element span starting at p.
+func (p GPtr[T]) Span(n int64) GSpan[T] { return GSpan[T]{Ptr: p, Len: n} }
+
+func (p GPtr[T]) String() string {
+	var z T
+	return fmt.Sprintf("gptr[%T](%#x)", z, p.addr)
+}
+
+// SizeOf returns the in-memory size of T in bytes.
+func SizeOf[T any]() uint64 {
+	var z T
+	return uint64(unsafe.Sizeof(z))
+}
+
+// GSpan is a typed contiguous global memory region — the span<T> of the
+// paper's program examples (Fig. 1).
+type GSpan[T any] struct {
+	Ptr GPtr[T]
+	Len int64
+}
+
+// Bytes returns the span's size in bytes.
+func (s GSpan[T]) Bytes() uint64 { return uint64(s.Len) * SizeOf[T]() }
+
+// Slice returns the sub-span of elements [lo, hi).
+func (s GSpan[T]) Slice(lo, hi int64) GSpan[T] {
+	if lo < 0 || hi < lo || hi > s.Len {
+		panic(fmt.Sprintf("ityr: slice [%d,%d) of span of %d", lo, hi, s.Len))
+	}
+	return GSpan[T]{Ptr: s.Ptr.Add(lo), Len: hi - lo}
+}
+
+// SplitAt divides the span into [0,at) and [at,Len).
+func (s GSpan[T]) SplitAt(at int64) (GSpan[T], GSpan[T]) {
+	return s.Slice(0, at), s.Slice(at, s.Len)
+}
+
+// SplitTwo divides the span into two halves (the split_two of Fig. 1).
+func (s GSpan[T]) SplitTwo() (GSpan[T], GSpan[T]) {
+	return s.SplitAt(s.Len / 2)
+}
+
+// At returns a pointer to element i.
+func (s GSpan[T]) At(i int64) GPtr[T] {
+	if i < 0 || i >= s.Len {
+		panic(fmt.Sprintf("ityr: index %d of span of %d", i, s.Len))
+	}
+	return s.Ptr.Add(i)
+}
+
+// viewToSlice reinterprets a checkout byte view as a typed slice.
+func viewToSlice[T any](view []byte, n int64) []T {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&view[0])), n)
+}
+
+// Checkout claims the span in the given mode and returns a typed view of
+// it, valid until the matching Checkin (§3.3). For Read and ReadWrite the
+// view holds the current global data; for Write it is uninitialized.
+func Checkout[T any](c *Ctx, s GSpan[T], mode Mode) []T {
+	view := c.MustCheckout(s.Ptr.addr, s.Bytes(), mode)
+	return viewToSlice[T](view, s.Len)
+}
+
+// Checkin completes the matching Checkout of the same span and mode. In
+// Write/ReadWrite mode every element of the span is considered written.
+func Checkin[T any](c *Ctx, s GSpan[T], mode Mode) {
+	c.Checkin(s.Ptr.addr, s.Bytes(), mode)
+}
+
+// GetVal reads one element by value (checkout Read + checkin).
+func GetVal[T any](c *Ctx, p GPtr[T]) T {
+	view := c.MustCheckout(p.addr, SizeOf[T](), Read)
+	v := *(*T)(unsafe.Pointer(&view[0]))
+	c.Checkin(p.addr, SizeOf[T](), Read)
+	return v
+}
+
+// PutVal writes one element by value (checkout Write + checkin).
+func PutVal[T any](c *Ctx, p GPtr[T], v T) {
+	view := c.MustCheckout(p.addr, SizeOf[T](), Write)
+	*(*T)(unsafe.Pointer(&view[0])) = v
+	c.Checkin(p.addr, SizeOf[T](), Write)
+}
+
+// AllocArray collectively allocates an n-element global array with the
+// given distribution. Call from the root thread (or the SPMD region via
+// AllocArraySPMD).
+func AllocArray[T any](c *Ctx, n int64, d DistPolicy) GSpan[T] {
+	base := c.Local().AllocCollective(uint64(n)*SizeOf[T](), d)
+	return GSpan[T]{Ptr: PtrAt[T](base), Len: n}
+}
+
+// AllocArraySPMD collectively allocates an n-element global array from the
+// SPMD region (rank 0 drives the collective).
+func AllocArraySPMD[T any](s *SPMD, n int64, d DistPolicy) GSpan[T] {
+	base := s.AllocCollective(uint64(n)*SizeOf[T](), d)
+	return GSpan[T]{Ptr: PtrAt[T](base), Len: n}
+}
+
+// New allocates a T from the executing rank's noncollective heap (§4.2)
+// and returns a typed global pointer. The object is remotely accessible
+// and freeable from any rank.
+func New[T any](c *Ctx) GPtr[T] {
+	return PtrAt[T](c.AllocLocal(SizeOf[T]()))
+}
+
+// NewArrayLocal allocates an n-element array from the executing rank's
+// noncollective heap.
+func NewArrayLocal[T any](c *Ctx, n int64) GSpan[T] {
+	return GSpan[T]{Ptr: PtrAt[T](c.AllocLocal(uint64(n) * SizeOf[T]())), Len: n}
+}
+
+// Free returns a noncollective allocation to its owner's heap.
+func Free[T any](c *Ctx, p GPtr[T]) { c.FreeLocal(p.addr, SizeOf[T]()) }
+
+// FreeArrayLocal frees a noncollective array allocation.
+func FreeArrayLocal[T any](c *Ctx, s GSpan[T]) { c.FreeLocal(s.Ptr.addr, s.Bytes()) }
+
+// PutSlice initializes global memory from the SPMD region with the
+// uncached PUT API.
+func PutSlice[T any](s *SPMD, src []T, dst GSpan[T]) error {
+	if int64(len(src)) != dst.Len {
+		return fmt.Errorf("ityr: PutSlice of %d elements into span of %d", len(src), dst.Len)
+	}
+	if dst.Len == 0 {
+		return nil
+	}
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&src[0])), dst.Bytes())
+	return s.Local().Put(b, dst.Ptr.addr)
+}
+
+// GetSlice reads global memory from the SPMD region with the uncached GET
+// API.
+func GetSlice[T any](s *SPMD, src GSpan[T]) ([]T, error) {
+	b, err := s.Local().Get(src.Ptr.addr, src.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return viewToSlice[T](b, src.Len), nil
+}

@@ -1,0 +1,147 @@
+package ityr
+
+import "fmt"
+
+// GVector is a growable vector stored entirely in global memory: a header
+// (length, capacity, data pointer) plus a separately allocated element
+// buffer, both in the noncollective heap.
+//
+// This is the container §3.2 of the paper motivates: under GET/PUT
+// semantics only trivially copyable objects can live in global memory, so
+// an octree node holding a std::vector is illegal (the ExaFMM case study
+// hits exactly this). With checkout/checkin, objects keep their (global)
+// addresses across accesses, so a vector whose header embeds a global
+// data pointer works from any rank — the header itself is plain old data
+// and can be embedded in other global structures.
+//
+// Concurrency follows the usual rule: Append/Reserve are writer
+// operations on the header (exclusive); Len/At/ReadAll are readers and may
+// run concurrently on many ranks once properly synchronized via fork-join.
+type GVector[T any] struct {
+	hdr GPtr[GVecHdr]
+}
+
+// GVecHdr is a GVector's global header block, exported so vectors can be
+// embedded (by header pointer) in user-defined global structures. It is
+// plain old data — the buffer is referenced by global address — so GVector
+// values and headers may be stored inside other global objects.
+type GVecHdr struct {
+	Len, Cap int64
+	Data     Addr
+	DataCap  int64 // allocation size of Data, for freeing
+}
+
+// NewGVector allocates an empty vector with the given initial capacity in
+// the executing rank's noncollective heap.
+func NewGVector[T any](c *Ctx, capacity int64) GVector[T] {
+	if capacity < 4 {
+		capacity = 4
+	}
+	h := New[GVecHdr](c)
+	data := c.AllocLocal(uint64(capacity) * SizeOf[T]())
+	PutVal(c, h, GVecHdr{Len: 0, Cap: capacity, Data: data, DataCap: capacity})
+	return GVector[T]{hdr: h}
+}
+
+// GVectorAt reinterprets a header pointer (e.g. one embedded in another
+// global structure) as a typed vector handle.
+func GVectorAt[T any](h GPtr[GVecHdr]) GVector[T] { return GVector[T]{hdr: h} }
+
+// Header returns the header pointer for embedding the vector in other
+// global objects.
+func (v GVector[T]) Header() GPtr[GVecHdr] { return v.hdr }
+
+// IsNil reports whether the vector handle is null.
+func (v GVector[T]) IsNil() bool { return v.hdr.IsNil() }
+
+// Len returns the current length.
+func (v GVector[T]) Len(c *Ctx) int64 {
+	return GetVal(c, v.hdr).Len
+}
+
+// Span returns the span of current elements for bulk access (Checkout,
+// patterns, ...). The span is invalidated by any subsequent Append that
+// reallocates.
+func (v GVector[T]) Span(c *Ctx) GSpan[T] {
+	h := GetVal(c, v.hdr)
+	return GSpan[T]{Ptr: PtrAt[T](h.Data), Len: h.Len}
+}
+
+// At reads element i.
+func (v GVector[T]) At(c *Ctx, i int64) T {
+	h := GetVal(c, v.hdr)
+	if i < 0 || i >= h.Len {
+		panic(fmt.Sprintf("ityr: GVector index %d of %d", i, h.Len))
+	}
+	return GetVal(c, PtrAt[T](h.Data).Add(i))
+}
+
+// Set writes element i.
+func (v GVector[T]) Set(c *Ctx, i int64, val T) {
+	h := GetVal(c, v.hdr)
+	if i < 0 || i >= h.Len {
+		panic(fmt.Sprintf("ityr: GVector index %d of %d", i, h.Len))
+	}
+	PutVal(c, PtrAt[T](h.Data).Add(i), val)
+}
+
+// Append appends values, growing the buffer geometrically if needed. It is
+// a writer operation: the caller must hold exclusive access to the vector
+// under the program's fork-join synchronization. The new buffer (when
+// growing) is allocated from the executing rank's heap — objects migrate
+// toward their writers, as with any noncollective allocation.
+func (v GVector[T]) Append(c *Ctx, values ...T) {
+	if len(values) == 0 {
+		return
+	}
+	h := GetVal(c, v.hdr)
+	need := h.Len + int64(len(values))
+	if need > h.Cap {
+		newCap := h.Cap * 2
+		for newCap < need {
+			newCap *= 2
+		}
+		newData := c.AllocLocal(uint64(newCap) * SizeOf[T]())
+		if h.Len > 0 {
+			// Bulk copy through the cache.
+			src := GSpan[T]{Ptr: PtrAt[T](h.Data), Len: h.Len}
+			dst := GSpan[T]{Ptr: PtrAt[T](newData), Len: h.Len}
+			sv := Checkout(c, src, Read)
+			dv := Checkout(c, dst, Write)
+			copy(dv, sv)
+			Checkin(c, src, Read)
+			Checkin(c, dst, Write)
+		}
+		c.FreeLocal(h.Data, uint64(h.DataCap)*SizeOf[T]())
+		h.Data, h.Cap, h.DataCap = newData, newCap, newCap
+	}
+	dst := GSpan[T]{Ptr: PtrAt[T](h.Data).Add(h.Len), Len: int64(len(values))}
+	dv := Checkout(c, dst, Write)
+	copy(dv, values)
+	Checkin(c, dst, Write)
+	h.Len = need
+	PutVal(c, v.hdr, h)
+}
+
+// ReadAll copies the whole vector into a host slice (reader operation).
+func (v GVector[T]) ReadAll(c *Ctx) []T {
+	h := GetVal(c, v.hdr)
+	if h.Len == 0 {
+		return nil
+	}
+	span := GSpan[T]{Ptr: PtrAt[T](h.Data), Len: h.Len}
+	view := Checkout(c, span, Read)
+	out := make([]T, h.Len)
+	copy(out, view)
+	Checkin(c, span, Read)
+	return out
+}
+
+// Free releases the vector's buffer and header.
+func (v GVector[T]) Free(c *Ctx) {
+	h := GetVal(c, v.hdr)
+	if h.DataCap > 0 {
+		c.FreeLocal(h.Data, uint64(h.DataCap)*SizeOf[T]())
+	}
+	Free(c, v.hdr)
+}

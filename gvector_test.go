@@ -1,0 +1,110 @@
+package ityr_test
+
+import (
+	"testing"
+
+	"ityr"
+)
+
+func TestGVectorAppendAndRead(t *testing.T) {
+	_, err := ityr.LaunchRoot(testCfg(4, ityr.WriteBackLazy), func(c *ityr.Ctx) {
+		v := ityr.NewGVector[int64](c, 4)
+		for i := int64(0); i < 100; i++ { // forces several reallocations
+			v.Append(c, i)
+		}
+		if got := v.Len(c); got != 100 {
+			t.Errorf("len = %d, want 100", got)
+		}
+		all := v.ReadAll(c)
+		for i, x := range all {
+			if x != int64(i) {
+				t.Fatalf("element %d = %d", i, x)
+			}
+		}
+		if got := v.At(c, 42); got != 42 {
+			t.Errorf("At(42) = %d", got)
+		}
+		v.Set(c, 42, -1)
+		if got := v.At(c, 42); got != -1 {
+			t.Errorf("after Set, At(42) = %d", got)
+		}
+		v.Free(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGVectorBulkAppend(t *testing.T) {
+	_, err := ityr.LaunchRoot(testCfg(2, ityr.WriteBack), func(c *ityr.Ctx) {
+		v := ityr.NewGVector[int32](c, 4)
+		batch := make([]int32, 1000)
+		for i := range batch {
+			batch[i] = int32(i)
+		}
+		v.Append(c, batch...)
+		v.Append(c, batch...)
+		if v.Len(c) != 2000 {
+			t.Errorf("len = %d", v.Len(c))
+		}
+		if v.At(c, 1500) != 500 {
+			t.Errorf("At(1500) = %d", v.At(c, 1500))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// nodeWithVec is the ExaFMM §3.2 scenario: a global structure embedding a
+// vector header — illegal under GET/PUT semantics, natural here.
+type nodeWithVec struct {
+	ID  int64
+	Vec ityr.GPtr[ityr.GVecHdr]
+}
+
+func TestGVectorEmbeddedInGlobalStruct(t *testing.T) {
+	_, err := ityr.LaunchRoot(testCfg(8, ityr.WriteBackLazy), func(c *ityr.Ctx) {
+		// Build nodes in parallel tasks; each node owns a vector filled
+		// where the task ran.
+		const nNodes = 16
+		nodes := ityr.AllocArray[nodeWithVec](c, nNodes, ityr.BlockCyclicDist)
+		c.ParallelFor(0, nNodes, 1, func(c *ityr.Ctx, lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				vec := ityr.NewGVector[int64](c, 4)
+				for k := int64(0); k <= i; k++ {
+					vec.Append(c, i*100+k)
+				}
+				w := ityr.Checkout(c, nodes.Slice(i, i+1), ityr.Write)
+				w[0] = nodeWithVec{ID: i, Vec: vec.Header()}
+				ityr.Checkin(c, nodes.Slice(i, i+1), ityr.Write)
+			}
+		})
+		// Read them all back from (potentially) different ranks.
+		var total int64
+		c.ParallelFor(0, nNodes, 1, func(c *ityr.Ctx, lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				r := ityr.Checkout(c, nodes.Slice(i, i+1), ityr.Read)
+				n := r[0]
+				ityr.Checkin(c, nodes.Slice(i, i+1), ityr.Read)
+				vec := ityr.GVectorAt[int64](n.Vec)
+				vals := vec.ReadAll(c)
+				if int64(len(vals)) != n.ID+1 {
+					t.Errorf("node %d has %d values, want %d", n.ID, len(vals), n.ID+1)
+				}
+				for k, x := range vals {
+					if x != n.ID*100+int64(k) {
+						t.Errorf("node %d value %d = %d", n.ID, k, x)
+					}
+				}
+				total += int64(len(vals))
+			}
+		})
+		if total != nNodes*(nNodes+1)/2 {
+			t.Errorf("total values = %d", total)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package ityr_test
+
+// End-to-end integration tests exercising multiple runtime subsystems
+// together: multi-region programs, cross-region coherence, and
+// halo-exchange-style neighbour access through the cache.
+
+import (
+	"math"
+	"testing"
+
+	"ityr"
+)
+
+// TestJacobiIterationsAcrossRegions runs a 1-D heat diffusion stencil:
+// each sweep is its own fork-join region (like a time-stepped application
+// alternating SPMD control with parallel regions), with double buffering.
+// Every sweep reads neighbour elements across task boundaries, so stale
+// caches or missing region-exit fences produce wrong physics.
+func TestJacobiIterationsAcrossRegions(t *testing.T) {
+	const (
+		n      = 4096
+		sweeps = 10
+	)
+	cfg := testCfg(8, ityr.WriteBackLazy)
+	rt := ityr.NewRuntime(cfg)
+	var result []float64
+	err := rt.Run(func(s *ityr.SPMD) {
+		var bufs [2]ityr.GSpan[float64]
+		if s.Rank() == 0 {
+			bufs[0] = ityr.AllocArraySPMD[float64](s, n, ityr.BlockCyclicDist)
+			bufs[1] = ityr.AllocArraySPMD[float64](s, n, ityr.BlockCyclicDist)
+		}
+		s.Barrier()
+		// Initial condition: a spike in the middle.
+		s.RootExec(func(c *ityr.Ctx) {
+			ityr.Fill(c, bufs[0], 0)
+			ityr.PutVal(c, bufs[0].At(n/2), 1000)
+		})
+		for it := 0; it < sweeps; it++ {
+			src, dst := bufs[it%2], bufs[(it+1)%2]
+			s.RootExec(func(c *ityr.Ctx) {
+				c.ParallelFor(1, n-1, 256, func(c *ityr.Ctx, lo, hi int64) {
+					// Read [lo-1, hi+1) to get the halo.
+					in := ityr.Checkout(c, src.Slice(lo-1, hi+1), ityr.Read)
+					out := ityr.Checkout(c, dst.Slice(lo, hi), ityr.Write)
+					for i := range out {
+						out[i] = (in[i] + in[i+1] + in[i+2]) / 3
+					}
+					c.Charge(ityr.Time(hi-lo) * 3)
+					ityr.Checkin(c, src.Slice(lo-1, hi+1), ityr.Read)
+					ityr.Checkin(c, dst.Slice(lo, hi), ityr.Write)
+				})
+			})
+		}
+		if s.Rank() == 0 {
+			out, err := ityr.GetSlice(s, bufs[sweeps%2])
+			if err != nil {
+				t.Error(err)
+			}
+			result = out
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Host reference.
+	ref := make([]float64, n)
+	tmp := make([]float64, n)
+	ref[n/2] = 1000
+	for it := 0; it < sweeps; it++ {
+		for i := 1; i < n-1; i++ {
+			tmp[i] = (ref[i-1] + ref[i] + ref[i+1]) / 3
+		}
+		tmp[0], tmp[n-1] = ref[0], ref[n-1]
+		ref, tmp = tmp, ref
+	}
+	var sumGot, sumRef float64
+	for i := range result {
+		if math.Abs(result[i]-ref[i]) > 1e-9 {
+			t.Fatalf("cell %d = %g, want %g", i, result[i], ref[i])
+		}
+		sumGot += result[i]
+		sumRef += ref[i]
+	}
+	if math.Abs(sumGot-sumRef) > 1e-6 {
+		t.Fatalf("heat not conserved: %g vs %g", sumGot, sumRef)
+	}
+}
+
+// TestMatMulBlocked multiplies two small global matrices with a blocked
+// parallel algorithm and checks against the host product — wide reuse of
+// the A and B tiles stresses cache hits and evictions together.
+func TestMatMulBlocked(t *testing.T) {
+	const n = 96 // n×n matrices
+	cfg := testCfg(8, ityr.WriteBack)
+	var got []float64
+	_, err := ityr.LaunchRoot(cfg, func(c *ityr.Ctx) {
+		A := ityr.AllocArray[float64](c, n*n, ityr.BlockCyclicDist)
+		B := ityr.AllocArray[float64](c, n*n, ityr.BlockCyclicDist)
+		C := ityr.AllocArray[float64](c, n*n, ityr.BlockCyclicDist)
+		ityr.Generate(c, A, func(i int64) float64 { return float64(i%7) - 3 })
+		ityr.Generate(c, B, func(i int64) float64 { return float64(i%5) - 2 })
+		// One task per row band.
+		c.ParallelFor(0, n, 8, func(c *ityr.Ctx, lo, hi int64) {
+			av := ityr.Checkout(c, A.Slice(lo*n, hi*n), ityr.Read)
+			bv := ityr.Checkout(c, B, ityr.Read) // whole B, reused by every task
+			cv := ityr.Checkout(c, C.Slice(lo*n, hi*n), ityr.Write)
+			rows := int(hi - lo)
+			for i := 0; i < rows; i++ {
+				for j := 0; j < n; j++ {
+					var s float64
+					for k := 0; k < n; k++ {
+						s += av[i*n+k] * bv[k*n+j]
+					}
+					cv[i*n+j] = s
+				}
+			}
+			c.Charge(ityr.Time(rows) * n * n)
+			ityr.Checkin(c, A.Slice(lo*n, hi*n), ityr.Read)
+			ityr.Checkin(c, B, ityr.Read)
+			ityr.Checkin(c, C.Slice(lo*n, hi*n), ityr.Write)
+		})
+		// Read back inside the region.
+		v := ityr.Checkout(c, C, ityr.Read)
+		got = append([]float64(nil), v...)
+		ityr.Checkin(c, C, ityr.Read)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host reference.
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%7) - 3
+		b[i] = float64(i%5) - 2
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += a[i*n+k] * b[k*n+j]
+			}
+			if got[i*n+j] != s {
+				t.Fatalf("C[%d,%d] = %g, want %g", i, j, got[i*n+j], s)
+			}
+		}
+	}
+}
+
+// TestManySmallRegions stresses region entry/exit overhead and cross-region
+// visibility with a counter incremented once per region.
+func TestManySmallRegions(t *testing.T) {
+	cfg := testCfg(4, ityr.WriteBackLazy)
+	rt := ityr.NewRuntime(cfg)
+	err := rt.Run(func(s *ityr.SPMD) {
+		var cnt ityr.GSpan[int64]
+		if s.Rank() == 0 {
+			cnt = ityr.AllocArraySPMD[int64](s, 1, ityr.BlockDist)
+		}
+		s.Barrier()
+		for i := 0; i < 20; i++ {
+			s.RootExec(func(c *ityr.Ctx) {
+				v := ityr.GetVal(c, cnt.At(0))
+				if v != int64(i) {
+					t.Errorf("region %d sees counter %d", i, v)
+				}
+				ityr.PutVal(c, cnt.At(0), v+1)
+			})
+		}
+		if s.Rank() == 0 {
+			out, err := ityr.GetSlice(s, cnt)
+			if err != nil || out[0] != 20 {
+				t.Errorf("final counter %v (%v)", out, err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

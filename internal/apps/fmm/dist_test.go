@@ -1,0 +1,56 @@
+package fmm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDistributionsStayInUnitCube(t *testing.T) {
+	for _, d := range []Dist{Cube, Sphere, Plummer} {
+		bodies := GenBodiesDist(3000, 11, d)
+		for i, b := range bodies {
+			if b.X < 0 || b.X > 1 || b.Y < 0 || b.Y > 1 || b.Z < 0 || b.Z > 1 {
+				t.Fatalf("%v body %d outside unit cube: (%g,%g,%g)", d, i, b.X, b.Y, b.Z)
+			}
+		}
+	}
+}
+
+func TestDistributionShapes(t *testing.T) {
+	// Plummer concentrates mass near the center; Sphere leaves the center
+	// empty; Cube is uniform. Compare the fraction of bodies within 0.15
+	// of the center.
+	frac := func(d Dist) float64 {
+		bodies := GenBodiesDist(5000, 13, d)
+		in := 0
+		for _, b := range bodies {
+			dx, dy, dz := b.X-0.5, b.Y-0.5, b.Z-0.5
+			if math.Sqrt(dx*dx+dy*dy+dz*dz) < 0.15 {
+				in++
+			}
+		}
+		return float64(in) / 5000
+	}
+	cube, sphere, plummer := frac(Cube), frac(Sphere), frac(Plummer)
+	t.Logf("central fraction: cube %.3f, sphere %.3f, plummer %.3f", cube, sphere, plummer)
+	if plummer <= cube {
+		t.Error("plummer not centrally concentrated")
+	}
+	if sphere != 0 {
+		t.Error("sphere surface has bodies near the center")
+	}
+}
+
+func TestFMMAccuracyAcrossDistributions(t *testing.T) {
+	for _, d := range []Dist{Sphere, Plummer} {
+		bodies := GenBodiesDist(1200, 7, d)
+		cells := BuildTree(bodies, 32)
+		EvaluateHost(cells, bodies, 0.3)
+		ref := DirectHost(bodies)
+		perr := PotentialError(bodies, ref)
+		t.Logf("%v: potential err %.2e", d, perr)
+		if perr > 5e-3 {
+			t.Errorf("%v: potential error %.2e too large", d, perr)
+		}
+	}
+}

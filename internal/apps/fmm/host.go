@@ -1,0 +1,110 @@
+package fmm
+
+import "math"
+
+// MAC is the multipole acceptance criterion of ExaFMM's dual tree
+// traversal: cells A and B interact via M2L when the distance between
+// their centers exceeds (R_A + R_B) / θ.
+func MAC(a, b *Cell, theta float64) bool {
+	dx, dy, dz := a.CX-b.CX, a.CY-b.CY, a.CZ-b.CZ
+	d2 := dx*dx + dy*dy + dz*dz
+	s := (a.R + b.R) / theta
+	return d2 > s*s
+}
+
+// EvaluateHost runs the whole FMM serially on the host: upward pass, dual
+// tree traversal, downward pass. It verifies the algorithm independently
+// of the runtime and provides the reference for the parallel version.
+// bodies must be the tree-ordered array BuildTree produced.
+func EvaluateHost(cells []Cell, bodies []Body, theta float64) {
+	for i := range bodies {
+		bodies[i].P, bodies[i].AX, bodies[i].AY, bodies[i].AZ = 0, 0, 0, 0
+	}
+	upwardHost(cells, bodies, 0)
+	dttHost(cells, bodies, 0, 0, theta)
+	downwardHost(cells, bodies, 0)
+}
+
+func upwardHost(cells []Cell, bodies []Body, ci int) {
+	c := &cells[ci]
+	c.M = Expansion{}
+	c.L = Expansion{}
+	if c.Child < 0 {
+		P2M(bodies[c.Body:c.Body+c.NBody], c.CX, c.CY, c.CZ, &c.M)
+		return
+	}
+	for k := int32(0); k < c.NChild; k++ {
+		child := c.Child + k
+		upwardHost(cells, bodies, int(child))
+		ch := &cells[child]
+		M2M(&ch.M, ch.CX, ch.CY, ch.CZ, c.CX, c.CY, c.CZ, &c.M)
+	}
+}
+
+// dttHost is the dual tree traversal: targets in cell a, sources in cell b.
+func dttHost(cells []Cell, bodies []Body, a, b int, theta float64) {
+	ca, cb := &cells[a], &cells[b]
+	if MAC(ca, cb, theta) {
+		M2L(&cb.M, cb.CX, cb.CY, cb.CZ, ca.CX, ca.CY, ca.CZ, &ca.L)
+		return
+	}
+	if ca.Child < 0 && cb.Child < 0 {
+		P2P(bodies[ca.Body:ca.Body+ca.NBody], bodies[cb.Body:cb.Body+cb.NBody], a == b)
+		return
+	}
+	// Split the larger cell (ExaFMM's traversal heuristic).
+	if cb.Child < 0 || (ca.Child >= 0 && ca.R >= cb.R) {
+		for k := int32(0); k < ca.NChild; k++ {
+			dttHost(cells, bodies, int(ca.Child+k), b, theta)
+		}
+	} else {
+		for k := int32(0); k < cb.NChild; k++ {
+			dttHost(cells, bodies, a, int(cb.Child+k), theta)
+		}
+	}
+}
+
+func downwardHost(cells []Cell, bodies []Body, ci int) {
+	c := &cells[ci]
+	if c.Child < 0 {
+		L2P(&c.L, c.CX, c.CY, c.CZ, bodies[c.Body:c.Body+c.NBody])
+		return
+	}
+	for k := int32(0); k < c.NChild; k++ {
+		child := c.Child + k
+		ch := &cells[child]
+		L2L(&c.L, c.CX, c.CY, c.CZ, ch.CX, ch.CY, ch.CZ, &ch.L)
+		downwardHost(cells, bodies, int(child))
+	}
+}
+
+// PotentialError returns the relative RMS error of got's potentials
+// against the reference ref.
+func PotentialError(got, ref []Body) float64 {
+	var num, den float64
+	for i := range got {
+		d := got[i].P - ref[i].P
+		num += d * d
+		den += ref[i].P * ref[i].P
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
+// AccelError returns the relative RMS error of accelerations.
+func AccelError(got, ref []Body) float64 {
+	var num, den float64
+	for i := range got {
+		dx := got[i].AX - ref[i].AX
+		dy := got[i].AY - ref[i].AY
+		dz := got[i].AZ - ref[i].AZ
+		num += dx*dx + dy*dy + dz*dz
+		den += ref[i].AX*ref[i].AX + ref[i].AY*ref[i].AY + ref[i].AZ*ref[i].AZ
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}

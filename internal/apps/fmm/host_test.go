@@ -1,0 +1,151 @@
+package fmm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestP2MThenM2PMatchesDirectFarField(t *testing.T) {
+	// A clump of sources far from a probe: multipole → local → evaluate
+	// must approximate the direct sum well.
+	src := []Body{
+		{X: 0.1, Y: 0.2, Z: 0.3, Q: 1.5},
+		{X: 0.15, Y: 0.1, Z: 0.25, Q: -0.7},
+		{X: 0.05, Y: 0.22, Z: 0.33, Q: 0.9},
+	}
+	var m Expansion
+	cx, cy, cz := 0.1, 0.18, 0.29
+	P2M(src, cx, cy, cz, &m)
+	probe := []Body{{X: 5, Y: 4.5, Z: 5.5}}
+	var l Expansion
+	M2L(&m, cx, cy, cz, probe[0].X, probe[0].Y, probe[0].Z, &l)
+	got := l[0] // local value at its center = potential
+	ref := DirectHost(append(append([]Body{}, src...), probe[0]))
+	want := ref[3].P
+	if rel := math.Abs(got-want) / math.Abs(want); rel > 1e-4 {
+		t.Fatalf("far-field potential %g vs direct %g (rel %g)", got, want, rel)
+	}
+}
+
+func TestM2MPreservesFarField(t *testing.T) {
+	// Moments translated to a different center must give the same far
+	// potential.
+	src := []Body{
+		{X: 0.1, Y: 0.2, Z: 0.3, Q: 1.5},
+		{X: 0.3, Y: 0.1, Z: 0.2, Q: 2.1},
+	}
+	var m1, m2 Expansion
+	P2M(src, 0.2, 0.15, 0.25, &m1)
+	M2M(&m1, 0.2, 0.15, 0.25, 0.5, 0.5, 0.5, &m2)
+	var l1, l2 Expansion
+	M2L(&m1, 0.2, 0.15, 0.25, 8, 8, 8, &l1)
+	M2L(&m2, 0.5, 0.5, 0.5, 8, 8, 8, &l2)
+	if rel := math.Abs(l1[0]-l2[0]) / math.Abs(l1[0]); rel > 2e-3 {
+		t.Fatalf("M2M changed far potential: %g vs %g", l1[0], l2[0])
+	}
+}
+
+func TestL2LPreservesEvaluation(t *testing.T) {
+	var m Expansion
+	P2M([]Body{{X: 0.1, Y: 0, Z: 0, Q: 3}}, 0, 0, 0, &m)
+	var lp Expansion
+	M2L(&m, 0, 0, 0, 6, 6, 6, &lp)
+	var lc Expansion
+	L2L(&lp, 6, 6, 6, 6.2, 6.1, 5.9, &lc)
+	// Evaluate both at the same point.
+	a := []Body{{X: 6.25, Y: 6.15, Z: 5.95}}
+	b := []Body{{X: 6.25, Y: 6.15, Z: 5.95}}
+	L2P(&lp, 6, 6, 6, a)
+	L2P(&lc, 6.2, 6.1, 5.9, b)
+	if rel := math.Abs(a[0].P-b[0].P) / math.Abs(a[0].P); rel > 1e-3 {
+		t.Fatalf("L2L changed potential: %g vs %g", a[0].P, b[0].P)
+	}
+}
+
+func TestBuildTreeInvariants(t *testing.T) {
+	bodies := GenBodies(2000, 42)
+	cells := BuildTree(bodies, 32)
+	if cells[0].NBody != 2000 {
+		t.Fatalf("root covers %d bodies", cells[0].NBody)
+	}
+	leafBodies := 0
+	for i := range cells {
+		c := &cells[i]
+		// Bodies inside cell bounds.
+		for b := c.Body; b < c.Body+c.NBody; b++ {
+			if math.Abs(bodies[b].X-c.CX) > c.R*1.001 ||
+				math.Abs(bodies[b].Y-c.CY) > c.R*1.001 ||
+				math.Abs(bodies[b].Z-c.CZ) > c.R*1.001 {
+				t.Fatalf("body %d outside cell %d", b, i)
+			}
+		}
+		if c.Child < 0 {
+			if int(c.NBody) > 32 {
+				t.Fatalf("leaf %d has %d > ncrit bodies", i, c.NBody)
+			}
+			leafBodies += int(c.NBody)
+			continue
+		}
+		// Children partition the parent's body range contiguously.
+		sum := int32(0)
+		for k := int32(0); k < c.NChild; k++ {
+			ch := &cells[c.Child+k]
+			if ch.Body != c.Body+sum {
+				t.Fatalf("cell %d child %d not contiguous", i, k)
+			}
+			sum += ch.NBody
+		}
+		if sum != c.NBody {
+			t.Fatalf("cell %d children cover %d of %d bodies", i, sum, c.NBody)
+		}
+	}
+	if leafBodies != 2000 {
+		t.Fatalf("leaves cover %d bodies", leafBodies)
+	}
+}
+
+func TestHostFMMAccuracy(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		theta float64
+		maxP  float64 // max allowed relative RMS potential error
+	}{
+		{1500, 0.2, 2e-4},
+		{1500, 0.35, 2e-3},
+		{1500, 0.5, 1e-2},
+	} {
+		bodies := GenBodies(tc.n, 7)
+		cells := BuildTree(bodies, 32)
+		EvaluateHost(cells, bodies, tc.theta)
+		ref := DirectHost(bodies)
+		perr := PotentialError(bodies, ref)
+		aerr := AccelError(bodies, ref)
+		t.Logf("n=%d θ=%.2f: potential err %.2e, accel err %.2e", tc.n, tc.theta, perr, aerr)
+		if perr > tc.maxP {
+			t.Errorf("θ=%.2f potential error %.2e > %.2e", tc.theta, perr, tc.maxP)
+		}
+		if aerr > tc.maxP*40 {
+			t.Errorf("θ=%.2f accel error %.2e too large", tc.theta, aerr)
+		}
+	}
+}
+
+func TestQuickP2PSymmetry(t *testing.T) {
+	// Newton's third law: total "force" (Σ q_i a_i with our convention)
+	// vanishes for pair interactions.
+	f := func(x1, y1, z1, x2, y2, z2 float64) bool {
+		b := []Body{
+			{X: math.Mod(math.Abs(x1), 1), Y: math.Mod(math.Abs(y1), 1), Z: math.Mod(math.Abs(z1), 1), Q: 1},
+			{X: math.Mod(math.Abs(x2), 1) + 2, Y: math.Mod(math.Abs(y2), 1), Z: math.Mod(math.Abs(z2), 1), Q: 1},
+		}
+		out := DirectHost(b)
+		sx := out[0].AX + out[1].AX
+		sy := out[0].AY + out[1].AY
+		sz := out[0].AZ + out[1].AZ
+		return math.Abs(sx)+math.Abs(sy)+math.Abs(sz) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package fmmmpi models the hand-optimized MPI version of ExaFMM that the
+// paper compares against in Fig. 11 and Table 2: particles are statically
+// partitioned across nodes by particle count, each node evaluates its own
+// targets (with dynamic intra-node scheduling, as the paper's MPI version
+// uses MassiveThreads within a node), and the only inter-node load
+// balancing is the static partition — so the irregular tree workload
+// produces idleness that grows with the node count (Table 2).
+//
+// The model runs the real dual tree traversal on the host, attributing
+// every kernel invocation to the node that owns the target, and derives
+// the makespan from per-node busy times plus the particle-exchange
+// (allgather) communication cost.
+package fmmmpi
+
+import (
+	"ityr/internal/apps/fmm"
+	"ityr/internal/netmodel"
+	"ityr/internal/sim"
+)
+
+// Result summarizes one modelled MPI execution.
+type Result struct {
+	// Elapsed is the modelled execution time.
+	Elapsed sim.Time
+	// Busy is the per-node accumulated kernel time.
+	Busy []sim.Time
+	// CommTime is the particle/LET exchange cost per step.
+	CommTime sim.Time
+	// Idleness is 1 − mean(busy)/max(busy): the fraction of the total
+	// compute time nodes spend waiting for the slowest node (Table 2).
+	Idleness float64
+}
+
+// kernel cost constants mirror the task-parallel implementation so the two
+// versions are directly comparable.
+const (
+	costP2PPair = 23 * sim.Nanosecond
+	costM2L     = 1100 * sim.Nanosecond
+	costM2M     = 400 * sim.Nanosecond
+	costL2L     = 400 * sim.Nanosecond
+	costP2MBody = 120 * sim.Nanosecond
+	costL2PBody = 180 * sim.Nanosecond
+	costStep    = 14 * sim.Nanosecond
+)
+
+// Run models the MPI ExaFMM on the given problem. The same octree and
+// traversal as the task-parallel version are used; only the work placement
+// differs (static, by body index).
+func Run(p fmm.Params, nodes, coresPerNode int, net netmodel.Params) Result {
+	p = p.WithDefaults()
+	bodies := fmm.GenBodiesDist(p.N, p.Seed, p.Dist)
+	cells := fmm.BuildTree(bodies, p.NCrit)
+
+	busy := make([]sim.Time, nodes)
+	nodeOf := func(body int32) int {
+		n := int(int64(body) * int64(nodes) / int64(len(bodies)))
+		if n >= nodes {
+			n = nodes - 1
+		}
+		return n
+	}
+	owner := func(ci int) int { return nodeOf(cells[ci].Body) }
+
+	var up func(ci int)
+	up = func(ci int) {
+		c := &cells[ci]
+		if c.Child < 0 {
+			busy[owner(ci)] += sim.Time(c.NBody) * costP2MBody
+			return
+		}
+		for k := int32(0); k < c.NChild; k++ {
+			up(int(c.Child + k))
+			busy[owner(ci)] += costM2M
+		}
+	}
+	var dtt func(a, b int)
+	dtt = func(a, b int) {
+		ca, cb := &cells[a], &cells[b]
+		w := owner(a)
+		busy[w] += costStep
+		if fmm.MAC(ca, cb, p.Theta) {
+			busy[w] += costM2L
+			return
+		}
+		if ca.Child < 0 && cb.Child < 0 {
+			busy[w] += sim.Time(ca.NBody) * sim.Time(cb.NBody) * costP2PPair
+			return
+		}
+		if cb.Child < 0 || (ca.Child >= 0 && ca.R >= cb.R) {
+			for k := int32(0); k < ca.NChild; k++ {
+				dtt(int(ca.Child+k), b)
+			}
+		} else {
+			for k := int32(0); k < cb.NChild; k++ {
+				dtt(a, int(cb.Child+k))
+			}
+		}
+	}
+	var down func(ci int)
+	down = func(ci int) {
+		c := &cells[ci]
+		if c.Child < 0 {
+			busy[owner(ci)] += sim.Time(c.NBody) * costL2PBody
+			return
+		}
+		for k := int32(0); k < c.NChild; k++ {
+			busy[owner(ci)] += costL2L
+			down(int(c.Child + k))
+		}
+	}
+	up(0)
+	dtt(0, 0)
+	down(0)
+
+	// Communication: each node gathers the remote particles and cells it
+	// needs (modelled as an allgather of the problem state).
+	var comm sim.Time
+	if nodes > 1 {
+		bytes := (len(bodies)*64 + len(cells)*208) * (nodes - 1) / nodes
+		steps := 0
+		for n := 1; n < nodes; n *= 2 {
+			steps++
+		}
+		comm = sim.Time(steps)*net.Latency + sim.Time(float64(bytes)/net.Bandwidth)
+	}
+
+	var max, sum sim.Time
+	for _, b := range busy {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	idle := 0.0
+	if max > 0 && nodes > 1 {
+		idle = 1 - float64(sum)/float64(nodes)/float64(max)
+	}
+	return Result{
+		Elapsed:  comm + max/sim.Time(coresPerNode),
+		Busy:     busy,
+		CommTime: comm,
+		Idleness: idle,
+	}
+}

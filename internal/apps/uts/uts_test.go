@@ -1,0 +1,180 @@
+package uts
+
+import (
+	"fmt"
+	"testing"
+
+	"ityr"
+)
+
+func cfg(ranks int, pol ityr.Policy) ityr.Config {
+	return ityr.Config{
+		Ranks:        ranks,
+		CoresPerNode: 4,
+		Pgas:         ityr.PgasConfig{BlockSize: 8 << 10, SubBlockSize: 1 << 10, CacheSize: 4 << 20, Policy: pol},
+		Seed:         17,
+	}
+}
+
+// tiny is a small test tree (deterministic size, see TestPresetSizes).
+var tiny = Tree{Name: "tiny", Seed: 5, RootKids: 50, MeanKids: 0.9, MaxDepth: 100}
+
+func TestHostCountDeterministic(t *testing.T) {
+	a, b := CountHost(tiny), CountHost(tiny)
+	if a != b {
+		t.Fatalf("host count nondeterministic: %d vs %d", a, b)
+	}
+	if a < 51 {
+		t.Fatalf("tree suspiciously small: %d nodes", a)
+	}
+	other := tiny
+	other.Seed = 6
+	if CountHost(other) == a {
+		t.Fatal("different seeds produced identical tree sizes")
+	}
+}
+
+func TestBuildMatchesHostCount(t *testing.T) {
+	want := CountHost(tiny)
+	for _, ranks := range []int{1, 4} {
+		ranks := ranks
+		t.Run(fmt.Sprintf("%dr", ranks), func(t *testing.T) {
+			var built int64
+			_, err := ityr.LaunchRoot(cfg(ranks, ityr.WriteBackLazy), func(c *ityr.Ctx) {
+				_, n := Build(c, tiny)
+				built = n
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if built != want {
+				t.Fatalf("built %d nodes, host says %d", built, want)
+			}
+		})
+	}
+}
+
+func TestTraverseCountsAllPolicies(t *testing.T) {
+	want := CountHost(tiny)
+	for _, pol := range ityr.Policies {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			var got int64
+			_, err := ityr.LaunchRoot(cfg(4, pol), func(c *ityr.Ctx) {
+				root, _ := Build(c, tiny)
+				got = Traverse(c, root)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("traversed %d nodes, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestPresetSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("preset size check is slow")
+	}
+	if n := CountHost(T1LPrime); n != 87716 {
+		t.Errorf("T1L' = %d nodes, want 87716", n)
+	}
+	if n := CountHost(T1XLPrime); n != 867292 {
+		t.Errorf("T1XL' = %d nodes, want 867292", n)
+	}
+}
+
+func TestDepthCutoffProducesLeaves(t *testing.T) {
+	shallow := Tree{Name: "shallow", Seed: 3, RootKids: 10, MeanKids: 5, MaxDepth: 2}
+	// Supercritical branching, but depth 2 bounds the size: at most
+	// 1 + 10 + 10*max children.
+	n := CountHost(shallow)
+	if n < 11 {
+		t.Fatalf("tree too small: %d", n)
+	}
+	var traversed int64
+	_, err := ityr.LaunchRoot(cfg(2, ityr.WriteBack), func(c *ityr.Ctx) {
+		root, _ := Build(c, shallow)
+		traversed = Traverse(c, root)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traversed != n {
+		t.Fatalf("traverse %d != host %d", traversed, n)
+	}
+}
+
+func TestClassicUTSMatchesMemVersion(t *testing.T) {
+	// The original UTS (no memory) and UTS-Mem must agree with the host
+	// count, and classic UTS must issue no global-memory fetches.
+	want := CountHost(tiny)
+	var classic, mem int64
+	rt := ityr.NewRuntime(cfg(4, ityr.WriteBackLazy))
+	err := rt.Run(func(s *ityr.SPMD) {
+		s.RootExec(func(c *ityr.Ctx) {
+			classic = CountParallel(c, tiny)
+		})
+		s.RootExec(func(c *ityr.Ctx) {
+			root, _ := Build(c, tiny)
+			mem = Traverse(c, root)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classic != want || mem != want {
+		t.Fatalf("classic=%d mem=%d want=%d", classic, mem, want)
+	}
+}
+
+func TestClassicUTSNoMemoryTraffic(t *testing.T) {
+	rt := ityr.NewRuntime(cfg(4, ityr.WriteBackLazy))
+	err := rt.Run(func(s *ityr.SPMD) {
+		s.RootExec(func(c *ityr.Ctx) {
+			CountParallel(c, tiny)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Space().Stats.CheckoutCalls; got != 0 {
+		t.Fatalf("classic UTS made %d checkouts, want 0", got)
+	}
+}
+
+func TestCachingHelpsTraversal(t *testing.T) {
+	// Fig. 10's claim in miniature: pointer chasing over remote memory is
+	// much faster with the cache (spatial locality within memory blocks).
+	mid := Tree{Name: "mid", Seed: 9, RootKids: 200, MeanKids: 0.95, MaxDepth: 200}
+	run := func(pol ityr.Policy) (traversalTime int64) {
+		var elapsed int64
+		err := ityr.Launch(cfg(8, pol), func(s *ityr.SPMD) {
+			var root ityr.GPtr[Node]
+			s.RootExec(func(c *ityr.Ctx) {
+				root, _ = Build(c, mid)
+			})
+			t0 := s.Now()
+			s.RootExec(func(c *ityr.Ctx) {
+				Traverse(c, root)
+			})
+			if s.Rank() == 0 {
+				elapsed = s.Now() - t0
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	noCache := run(ityr.NoCache)
+	cached := run(ityr.WriteBackLazy)
+	if cached >= noCache {
+		t.Errorf("cached traversal (%d) not faster than no-cache (%d)", cached, noCache)
+	} else {
+		t.Logf("traversal: no-cache %.2f ms vs cached %.2f ms (%.1fx)",
+			float64(noCache)/1e6, float64(cached)/1e6, float64(noCache)/float64(cached))
+	}
+}

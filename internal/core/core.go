@@ -1,0 +1,348 @@
+// Package core assembles the Itoyori runtime: the cached PGAS layer
+// (internal/pgas) underneath the child-first distributed work-stealing
+// scheduler (internal/uth), with release/acquire fences inserted at
+// fork-join points exactly as Fig. 5 of the paper prescribes, and the lazy
+// release protocol of Fig. 6 driven from the scheduler's polling points.
+//
+// This is the paper's primary contribution; the public ityr package at the
+// module root re-exports it with typed (generic) helpers.
+package core
+
+import (
+	"fmt"
+
+	"ityr/internal/netmodel"
+	"ityr/internal/pgas"
+	"ityr/internal/prof"
+	"ityr/internal/rma"
+	"ityr/internal/sim"
+	"ityr/internal/trace"
+	"ityr/internal/uth"
+)
+
+// Config assembles the whole simulated machine and runtime.
+type Config struct {
+	// Ranks is the total number of workers (one process per core).
+	Ranks int
+	// CoresPerNode groups ranks into nodes (48 in the paper's machine).
+	CoresPerNode int
+	// Net overrides the network model (defaults to netmodel.Default).
+	Net *netmodel.Params
+	// Pgas tunes the cache system (block size, cache size, policy...).
+	Pgas pgas.Config
+	// Sched tunes the work-stealing scheduler.
+	Sched uth.Config
+	// Seed seeds schedule randomness; same seed ⇒ identical run.
+	Seed int64
+	// Trace enables event tracing (Runtime.Trace): scheduler actions,
+	// fences and cache events with virtual timestamps.
+	Trace bool
+	// Overlap enables communication-computation overlap (§8 future work):
+	// while a checkout's remote fetch is in flight, the rank runs other
+	// ready tasks instead of stalling.
+	Overlap bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ranks == 0 {
+		c.Ranks = 1
+	}
+	if c.CoresPerNode == 0 {
+		c.CoresPerNode = 8
+	}
+	if c.Seed != 0 && c.Sched.Seed == 0 {
+		c.Sched.Seed = c.Seed
+	}
+	return c
+}
+
+// Runtime is one simulated Itoyori instance: engine, interconnect, global
+// address space and scheduler.
+type Runtime struct {
+	cfg   Config
+	eng   *sim.Engine
+	comm  *rma.Comm
+	space *pgas.Space
+	sched *uth.Sched
+	prof  *prof.Profiler
+	trace *trace.Log
+}
+
+// NewRuntime builds a runtime from cfg.
+func NewRuntime(cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	eng := sim.NewEngine()
+	net := netmodel.Default(cfg.CoresPerNode)
+	if cfg.Net != nil {
+		net = *cfg.Net
+		net.CoresPerNode = cfg.CoresPerNode
+	}
+	comm := rma.New(eng, cfg.Ranks, net)
+	pr := prof.New(cfg.Ranks)
+	space := pgas.New(comm, cfg.Pgas, pr)
+	var tl *trace.Log
+	if cfg.Trace {
+		tl = trace.New()
+		space.TraceLog = tl
+	}
+	sched := uth.NewSched(comm, cfg.Sched, hooks{space: space, trace: tl, eng: eng})
+	if cfg.Overlap {
+		space.CommWait = func(l *pgas.Local) {
+			until := l.Rank().PendingTime()
+			if !sched.CommWait(until) {
+				l.Rank().Flush() // SPMD-mode caller: block conventionally
+			}
+		}
+	}
+	return &Runtime{cfg: cfg, eng: eng, comm: comm, space: space, sched: sched, prof: pr, trace: tl}
+}
+
+// Trace returns the event log (nil unless Config.Trace was set).
+func (rt *Runtime) Trace() *trace.Log { return rt.trace }
+
+// hooks wires the scheduler's synchronization points to the cache
+// coherence fences (Fig. 5 placement, Fig. 6 lazy protocol) and, when
+// enabled, the event tracer.
+type hooks struct {
+	space *pgas.Space
+	trace *trace.Log
+	eng   *sim.Engine
+}
+
+func (h hooks) rec(rank int, k trace.Kind, arg int64) {
+	h.trace.Rec(h.eng.Now(), rank, k, arg)
+}
+
+func (h hooks) Poll(rank int) { h.space.Local(rank).Poll() }
+func (h hooks) OnFork(rank int) any {
+	h.rec(rank, trace.KFork, 0)
+	return h.space.Local(rank).ReleaseLazy()
+}
+func (h hooks) OnSteal(rank int, handler any) {
+	hd, _ := handler.(pgas.ReleaseHandler)
+	h.rec(rank, trace.KSteal, int64(hd.Rank))
+	h.space.Local(rank).AcquireWith(hd)
+}
+func (h hooks) OnSuspend(rank int) {
+	h.rec(rank, trace.KRelease, 0)
+	h.space.Local(rank).ReleaseFence()
+}
+func (h hooks) OnChildStolenDone(rank int) {
+	h.rec(rank, trace.KRelease, 1)
+	h.space.Local(rank).ReleaseFence()
+}
+func (h hooks) OnMigrateArrive(rank int) {
+	h.rec(rank, trace.KMigrate, 0)
+	h.space.Local(rank).AcquireFence()
+}
+
+// Engine returns the simulation engine.
+func (rt *Runtime) Engine() *sim.Engine { return rt.eng }
+
+// Comm returns the communicator.
+func (rt *Runtime) Comm() *rma.Comm { return rt.comm }
+
+// Space returns the global address space.
+func (rt *Runtime) Space() *pgas.Space { return rt.space }
+
+// Sched returns the scheduler.
+func (rt *Runtime) Sched() *uth.Sched { return rt.sched }
+
+// Profiler returns the profiler.
+func (rt *Runtime) Profiler() *prof.Profiler { return rt.prof }
+
+// Config returns the runtime configuration after defaulting.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Run executes spmd once per rank (the program's SPMD mode, as launched by
+// mpiexec) and drives the simulation to completion.
+func (rt *Runtime) Run(spmd func(s *SPMD)) error {
+	for i := 0; i < rt.cfg.Ranks; i++ {
+		r := rt.comm.Rank(i)
+		s := &SPMD{rt: rt, rank: i, local: rt.space.Local(i)}
+		rt.eng.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			r.Attach(p)
+			spmd(s)
+		})
+	}
+	return rt.eng.Run()
+}
+
+// RunRoot is the common pattern: enter the fork-join region immediately and
+// run body as the root thread. It returns the virtual time the region took.
+func (rt *Runtime) RunRoot(body func(c *Ctx)) (sim.Time, error) {
+	var elapsed sim.Time
+	err := rt.Run(func(s *SPMD) {
+		start := s.Now()
+		s.RootExec(body)
+		if s.Rank() == 0 {
+			elapsed = s.Now() - start
+		}
+	})
+	return elapsed, err
+}
+
+// SPMD is a rank's handle during the SPMD region.
+type SPMD struct {
+	rt    *Runtime
+	rank  int
+	local *pgas.Local
+}
+
+// Rank returns the rank number.
+func (s *SPMD) Rank() int { return s.rank }
+
+// NRanks returns the total number of ranks.
+func (s *SPMD) NRanks() int { return s.rt.cfg.Ranks }
+
+// Now returns the current virtual time.
+func (s *SPMD) Now() sim.Time { return s.rt.eng.Now() }
+
+// Local returns the rank's PGAS handle for SPMD-mode memory access.
+func (s *SPMD) Local() *pgas.Local { return s.local }
+
+// Barrier synchronizes all ranks (SPMD mode only).
+func (s *SPMD) Barrier() { s.local.Rank().Barrier() }
+
+// AllocCollective allocates distributed global memory; call on rank 0
+// (it is modelled as a collective with every rank participating).
+func (s *SPMD) AllocCollective(size uint64, d pgas.DistPolicy) pgas.Addr {
+	return s.local.AllocCollective(size, d)
+}
+
+// RootExec switches from the SPMD region to the fork-join region: rank 0
+// runs body as the root thread while every rank participates in work
+// stealing. All ranks return when the root completes, with a consistent
+// global memory view.
+func (s *SPMD) RootExec(body func(c *Ctx)) {
+	s.rt.sched.WorkerMain(s.rank, func(tb *uth.TB) {
+		body(&Ctx{rt: s.rt, tb: tb})
+	})
+}
+
+// Ctx is the handle a thread uses inside the fork-join region. It is valid
+// only on the thread it was given to; the rank it refers to follows the
+// thread across migrations.
+type Ctx struct {
+	rt *Runtime
+	tb *uth.TB
+}
+
+// RankID returns the rank currently executing this thread (may change
+// across Fork/Join).
+func (c *Ctx) RankID() int { return c.tb.RankID() }
+
+// Runtime returns the runtime.
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// Local returns the executing rank's PGAS handle. Do not cache it across
+// Fork/Join calls: the thread may migrate.
+func (c *Ctx) Local() *pgas.Local { return c.rt.space.Local(c.tb.RankID()) }
+
+// Now returns the current virtual time.
+func (c *Ctx) Now() sim.Time { return c.rt.eng.Now() }
+
+// Charge advances virtual time by d, modelling local computation.
+func (c *Ctx) Charge(d sim.Time) { c.tb.Proc().Advance(d) }
+
+// ChargeAs advances virtual time by d and attributes it to the named
+// profiler category (e.g. "Serial Quicksort" in Fig. 9).
+func (c *Ctx) ChargeAs(cat string, d sim.Time) {
+	c.tb.Proc().Advance(d)
+	c.rt.prof.AddName(cat, c.tb.RankID(), d)
+}
+
+// Yield lets long-running leaf code service lazy-release polls.
+func (c *Ctx) Yield() { c.tb.Yield() }
+
+// Checkout claims [addr, addr+size) in the given mode, returning a view.
+func (c *Ctx) Checkout(addr pgas.Addr, size uint64, mode pgas.Mode) ([]byte, error) {
+	return c.Local().Checkout(addr, size, mode)
+}
+
+// MustCheckout is Checkout that panics on error, for workloads whose
+// accesses are statically known to fit the cache.
+func (c *Ctx) MustCheckout(addr pgas.Addr, size uint64, mode pgas.Mode) []byte {
+	v, err := c.Local().Checkout(addr, size, mode)
+	if err != nil {
+		panic(fmt.Sprintf("core: checkout(%#x,%d,%v): %v", addr, size, mode, err))
+	}
+	return v
+}
+
+// Checkin completes the matching Checkout.
+func (c *Ctx) Checkin(addr pgas.Addr, size uint64, mode pgas.Mode) {
+	if err := c.Local().Checkin(addr, size, mode); err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+}
+
+// AllocLocal allocates from the executing rank's noncollective heap.
+func (c *Ctx) AllocLocal(size uint64) pgas.Addr { return c.Local().AllocLocal(size) }
+
+// FreeLocal frees a noncollective allocation.
+func (c *Ctx) FreeLocal(addr pgas.Addr, size uint64) {
+	if err := c.Local().FreeLocal(addr, size); err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+}
+
+// Thread is a forked child handle.
+type Thread = uth.Thread
+
+// Fork spawns fn as a child thread, running it immediately (child-first)
+// and exposing this thread's continuation to thieves. Any checkouts must be
+// checked in before calling Fork (threads can migrate here).
+func (c *Ctx) Fork(fn func(*Ctx)) *Thread {
+	c.assertNoCheckouts("Fork")
+	rt := c.rt
+	return c.tb.Fork(func(tb *uth.TB) {
+		fn(&Ctx{rt: rt, tb: tb})
+	})
+}
+
+// Join waits for a forked child; the thread may resume on another rank.
+func (c *Ctx) Join(t *Thread) {
+	c.assertNoCheckouts("Join")
+	c.tb.Join(t)
+}
+
+func (c *Ctx) assertNoCheckouts(op string) {
+	if n := c.Local().OutstandingCheckouts(); n != 0 {
+		panic(fmt.Sprintf("core: %s with %d outstanding checkout(s); checkouts must not span fork-join points (§3.3)", op, n))
+	}
+}
+
+// ParallelInvoke forks all closures but the last, runs the last inline, and
+// joins — the parallel_invoke() of Fig. 1.
+func (c *Ctx) ParallelInvoke(fns ...func(*Ctx)) {
+	if len(fns) == 0 {
+		return
+	}
+	ths := make([]*Thread, len(fns)-1)
+	for i := 0; i < len(fns)-1; i++ {
+		ths[i] = c.Fork(fns[i])
+	}
+	fns[len(fns)-1](c)
+	for _, th := range ths {
+		c.Join(th)
+	}
+}
+
+// ParallelFor recursively splits [lo, hi) until ranges are at most grain
+// long, then runs body on each leaf range in parallel. This is the
+// range-based high-level pattern of §3.3 that also keeps each leaf's
+// checkouts within cache capacity.
+func (c *Ctx) ParallelFor(lo, hi, grain int64, body func(c *Ctx, lo, hi int64)) {
+	if grain < 1 {
+		grain = 1
+	}
+	if hi-lo <= grain {
+		body(c, lo, hi)
+		return
+	}
+	mid := lo + (hi-lo)/2
+	th := c.Fork(func(c *Ctx) { c.ParallelFor(lo, mid, grain, body) })
+	c.ParallelFor(mid, hi, grain, body)
+	c.Join(th)
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"ityr/internal/pgas"
+	"ityr/internal/sim"
+)
+
+// TestLazyReleaseDelayedByLongLeaf demonstrates the limitation §5.2 of the
+// paper calls out: "long-running tasks can delay the execution of the
+// polling function for a long time". A victim with dirty data runs a long
+// leaf after forking; the thief that stole the continuation must wait for
+// the victim's next poll. Yield() inside the leaf services the request
+// early and shortens the wait.
+func TestLazyReleaseDelayedByLongLeaf(t *testing.T) {
+	const leaf = 20 * sim.Millisecond
+	run := func(yields int) sim.Time {
+		cfg := cfgFor(2, pgas.WriteBackLazy, 5)
+		rt := NewRuntime(cfg)
+		elapsed, err := rt.RunRoot(func(c *Ctx) {
+			base := c.Local().AllocCollective(4096, pgas.BlockCyclicDist)
+			// Dirty some remotely-homed data (block 1 is homed on rank 1).
+			v := c.MustCheckout(base+512, 64, pgas.Write)
+			v[0] = 1
+			c.Checkin(base+512, 64, pgas.Write)
+			// Fork a child that reads the dirty region — if the
+			// continuation is stolen, the thief's acquire needs our lazy
+			// release. Then grind through a long serial leaf.
+			th := c.Fork(func(c *Ctx) {
+				step := leaf / sim.Time(yields+1)
+				for i := 0; i <= yields; i++ {
+					c.Charge(step)
+					c.Yield() // poll point inside the leaf
+				}
+			})
+			// The continuation: reads the dirty region from wherever the
+			// thief put us.
+			g := c.MustCheckout(base+512, 64, pgas.Read)
+			if g[0] != 1 {
+				t.Errorf("read %d, want 1", g[0])
+			}
+			c.Checkin(base+512, 64, pgas.Read)
+			c.Join(th)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	noYield := run(0)
+	withYield := run(63)
+	t.Logf("long leaf without yields: %.3f ms; with yields: %.3f ms",
+		float64(noYield)/1e6, float64(withYield)/1e6)
+	// Both must complete; yielding must never make things slower by more
+	// than noise (it usually helps when a steal actually happened).
+	if withYield > noYield+noYield/4 {
+		t.Errorf("yielding slowed the run: %d -> %d", noYield, withYield)
+	}
+}
+
+// TestLazyHandlerAcrossManySteals stresses the epoch protocol: many
+// forks with dirty data, many thieves, each acquire must observe the
+// right write-back.
+func TestLazyHandlerAcrossManySteals(t *testing.T) {
+	cfg := cfgFor(8, pgas.WriteBackLazy, 3)
+	rt := NewRuntime(cfg)
+	const tasks = 200
+	sum := 0
+	_, err := rt.RunRoot(func(c *Ctx) {
+		base := c.Local().AllocCollective(tasks*8, pgas.BlockCyclicDist)
+		c.ParallelFor(0, tasks, 1, func(c *Ctx, lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				v := c.MustCheckout(base+pgas.Addr(i*8), 8, pgas.Write)
+				v[0] = byte(i)
+				c.Checkin(base+pgas.Addr(i*8), 8, pgas.Write)
+				c.Charge(5 * sim.Microsecond)
+			}
+		})
+		for i := int64(0); i < tasks; i++ {
+			v := c.MustCheckout(base+pgas.Addr(i*8), 8, pgas.Read)
+			if v[0] == byte(i) {
+				sum++
+			}
+			c.Checkin(base+pgas.Addr(i*8), 8, pgas.Read)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != tasks {
+		t.Fatalf("only %d/%d cells correct", sum, tasks)
+	}
+	if rt.Space().Stats.LazyReleases == 0 {
+		t.Log("note: no lazy releases were deferred in this schedule")
+	}
+}

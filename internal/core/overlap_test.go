@@ -1,0 +1,133 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"ityr/internal/pgas"
+	"ityr/internal/sim"
+)
+
+// overlapWorkload: many tasks each fetch a remote region (cache miss) and
+// then compute. Without overlap the fetch latency serializes with compute;
+// with overlap the rank runs the next task during the fetch.
+func overlapWorkload(t *testing.T, overlap bool) (sim.Time, int64) {
+	t.Helper()
+	cfg := Config{
+		Ranks:        2,
+		CoresPerNode: 1, // two nodes: every fetch crosses the network
+		Pgas: pgas.Config{
+			BlockSize: 4096, SubBlockSize: 4096, CacheSize: 1 << 20,
+			Policy: pgas.WriteBackLazy,
+		},
+		Seed:    9,
+		Overlap: overlap,
+	}
+	rt := NewRuntime(cfg)
+	const tasks = 64
+	var sum int64
+	_, err := rt.RunRoot(func(c *Ctx) {
+		// One block per task, homed alternately on both ranks.
+		base := c.Local().AllocCollective(tasks*4096, pgas.BlockCyclicDist)
+		var rec func(c *Ctx, lo, hi int64)
+		rec = func(c *Ctx, lo, hi int64) {
+			if hi-lo == 1 {
+				addr := base + pgas.Addr(lo*4096)
+				v := c.MustCheckout(addr, 4096, pgas.ReadWrite) // miss: remote or local
+				binary.LittleEndian.PutUint64(v, uint64(lo+1))
+				c.ChargeAs("Compute", 2*sim.Microsecond)
+				c.Checkin(addr, 4096, pgas.ReadWrite)
+				return
+			}
+			mid := (lo + hi) / 2
+			th := c.Fork(func(c *Ctx) { rec(c, lo, mid) })
+			rec(c, mid, hi)
+			c.Join(th)
+		}
+		rec(c, 0, tasks)
+		for i := int64(0); i < tasks; i++ {
+			v := c.MustCheckout(base+pgas.Addr(i*4096), 8, pgas.Read)
+			sum += int64(binary.LittleEndian.Uint64(v))
+			c.Checkin(base+pgas.Addr(i*4096), 8, pgas.Read)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.Engine().Now(), sum
+}
+
+func TestOverlapPreservesResults(t *testing.T) {
+	_, sumOff := overlapWorkload(t, false)
+	_, sumOn := overlapWorkload(t, true)
+	want := int64(64 * 65 / 2)
+	if sumOff != want || sumOn != want {
+		t.Fatalf("sums: off=%d on=%d want=%d", sumOff, sumOn, want)
+	}
+}
+
+func TestOverlapDoesNotRegressBadly(t *testing.T) {
+	off, _ := overlapWorkload(t, false)
+	on, _ := overlapWorkload(t, true)
+	t.Logf("fetch-heavy workload: blocking %.3f ms vs overlap %.3f ms", float64(off)/1e6, float64(on)/1e6)
+	if on > off+off/10 {
+		t.Errorf("overlap slowed execution: %d -> %d", off, on)
+	}
+}
+
+// TestOverlapUnderFuzz re-runs the random-DAG coherence fuzz with overlap
+// enabled: interleaving other tasks during a paused checkout must never
+// break SC-for-DRF.
+func TestOverlapUnderFuzz(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rngCfg := []struct {
+			pol    pgas.Policy
+			shared bool
+		}{
+			{pgas.WriteBackLazy, false},
+			{pgas.WriteBack, false},
+			{pgas.WriteBackLazy, true},
+		}
+		for ci, cc := range rngCfg {
+			if !runRandomDAGOverlap(t, seed, ci, cc.pol, cc.shared) {
+				t.Fatalf("seed %d config %d failed under overlap", seed, ci)
+			}
+		}
+	}
+}
+
+func runRandomDAGOverlap(t *testing.T, seed int64, ci int, pol pgas.Policy, shared bool) bool {
+	ok := runRandomDAGWith(t, seed, ci, 8, 4, pol, shared, true)
+	return ok
+}
+
+func TestOverlapActuallyEngages(t *testing.T) {
+	cfg := Config{
+		Ranks:        2,
+		CoresPerNode: 1,
+		Pgas: pgas.Config{
+			BlockSize: 4096, SubBlockSize: 4096, CacheSize: 1 << 20,
+			Policy: pgas.WriteBackLazy,
+		},
+		Seed:    9,
+		Overlap: true,
+	}
+	rt := NewRuntime(cfg)
+	_, err := rt.RunRoot(func(c *Ctx) {
+		base := c.Local().AllocCollective(64*4096, pgas.BlockCyclicDist)
+		c.ParallelFor(0, 64, 1, func(c *Ctx, lo, hi int64) {
+			addr := base + pgas.Addr(lo*4096)
+			v := c.MustCheckout(addr, 4096, pgas.Read)
+			_ = v
+			c.Charge(2 * sim.Microsecond)
+			c.Checkin(addr, 4096, pgas.Read)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Sched().Stats.CommWaits == 0 {
+		t.Fatal("overlap enabled but CommWait never engaged")
+	}
+	t.Logf("comm waits overlapped: %d", rt.Sched().Stats.CommWaits)
+}

@@ -1,0 +1,172 @@
+package memblock
+
+import (
+	"testing"
+
+	"ityr/internal/region"
+)
+
+func TestAcquireAssignsAndReuses(t *testing.T) {
+	tb := NewTable(4, 64, false)
+	b1, ev, err := tb.Acquire(10)
+	if err != nil || ev != nil {
+		t.Fatalf("acquire: %v, evicted %v", err, ev)
+	}
+	if b1.ID != 10 || len(b1.Data) != 64 {
+		t.Fatalf("block = %+v", b1)
+	}
+	b2, _, err := tb.Acquire(10)
+	if err != nil || b2 != b1 {
+		t.Fatalf("second acquire returned different block")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	tb := NewTable(2, 64, false)
+	a, _, _ := tb.Acquire(1)
+	b, _, _ := tb.Acquire(2)
+	tb.Lookup(1) // touch 1: now 2 is LRU
+	c, ev, err := tb.Acquire(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev != b {
+		t.Fatalf("evicted %v, want block for id 2", ev)
+	}
+	if c.ID != 3 || tb.Peek(2) != nil || tb.Peek(1) != a {
+		t.Fatal("table state wrong after eviction")
+	}
+	if tb.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", tb.Evictions)
+	}
+}
+
+func TestPinnedBlocksNotEvicted(t *testing.T) {
+	tb := NewTable(2, 64, false)
+	a, _, _ := tb.Acquire(1)
+	b, _, _ := tb.Acquire(2)
+	a.Ref++ // pin the LRU block
+	c, ev, err := tb.Acquire(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev != b || c.ID != 3 {
+		t.Fatalf("evicted %+v, want unpinned block 2", ev)
+	}
+}
+
+func TestAllPinnedReturnsTooMuchCheckout(t *testing.T) {
+	tb := NewTable(2, 64, false)
+	a, _, _ := tb.Acquire(1)
+	b, _, _ := tb.Acquire(2)
+	a.Ref++
+	b.Ref++
+	if _, _, err := tb.Acquire(3); err != ErrTooMuchCheckout {
+		t.Fatalf("err = %v, want ErrTooMuchCheckout", err)
+	}
+}
+
+func TestDirtyBlocksNotEvictable(t *testing.T) {
+	tb := NewTable(2, 64, false)
+	a, _, _ := tb.Acquire(1)
+	b, _, _ := tb.Acquire(2)
+	a.Dirty.Add(region.Interval{Lo: 0, Hi: 8})
+	b.Dirty.Add(region.Interval{Lo: 0, Hi: 8})
+	if _, _, err := tb.Acquire(3); err != ErrNoEvictable {
+		t.Fatalf("err = %v, want ErrNoEvictable", err)
+	}
+	// After "writing back" (clearing dirty), acquisition succeeds.
+	a.Dirty.Clear()
+	b.Dirty.Clear()
+	if _, _, err := tb.Acquire(3); err != nil {
+		t.Fatalf("acquire after writeback: %v", err)
+	}
+}
+
+func TestMappedAccounting(t *testing.T) {
+	tb := NewTable(3, 64, false)
+	a, _, _ := tb.Acquire(1)
+	if !tb.SetMapped(a, true) {
+		t.Fatal("first map should report a change")
+	}
+	if tb.SetMapped(a, true) {
+		t.Fatal("re-map of mapped block should be a no-op")
+	}
+	if tb.MappedCount() != 1 {
+		t.Fatalf("mapped = %d, want 1", tb.MappedCount())
+	}
+	tb.SetMapped(a, false)
+	if tb.MappedCount() != 0 {
+		t.Fatalf("mapped = %d, want 0", tb.MappedCount())
+	}
+}
+
+func TestEvictionClearsMapping(t *testing.T) {
+	tb := NewTable(1, 64, false)
+	a, _, _ := tb.Acquire(1)
+	tb.SetMapped(a, true)
+	_, ev, err := tb.Acquire(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev == nil || ev.Mapped || tb.MappedCount() != 0 {
+		t.Fatalf("eviction did not unmap: evicted=%v mapped=%d", ev, tb.MappedCount())
+	}
+}
+
+func TestAcquireClearsStaleState(t *testing.T) {
+	tb := NewTable(1, 64, false)
+	a, _, _ := tb.Acquire(1)
+	a.Valid.Add(region.Interval{Lo: 0, Hi: 64})
+	a.Data[0] = 0xFF
+	b, ev, err := tb.Acquire(2)
+	if err != nil || ev == nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if !b.Valid.Empty() || !b.Dirty.Empty() || b.Ref != 0 {
+		t.Fatal("reused block carries stale metadata")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	tb := NewTable(4, 64, false)
+	for id := int64(0); id < 4; id++ {
+		b, _, _ := tb.Acquire(id)
+		b.Valid.Add(region.Interval{Lo: uint64(id) * 64, Hi: uint64(id)*64 + 64})
+	}
+	tb.InvalidateAll()
+	tb.ForEach(func(b *Block) {
+		if !b.Valid.Empty() {
+			t.Fatalf("block %d still valid after invalidate", b.ID)
+		}
+	})
+}
+
+func TestDirtyBlocksListing(t *testing.T) {
+	tb := NewTable(4, 64, false)
+	b0, _, _ := tb.Acquire(0)
+	tb.Acquire(1)
+	b2, _, _ := tb.Acquire(2)
+	b0.Dirty.Add(region.Interval{Lo: 0, Hi: 4})
+	b2.Dirty.Add(region.Interval{Lo: 128, Hi: 132})
+	d := tb.DirtyBlocks()
+	if len(d) != 2 {
+		t.Fatalf("dirty blocks = %d, want 2", len(d))
+	}
+}
+
+func TestLazyAllocation(t *testing.T) {
+	tb := NewTable(1000000, 65536, false) // 64 GB if eagerly allocated
+	tb.Acquire(42)
+	if tb.allocated != 1 {
+		t.Fatalf("allocated = %d, want 1", tb.allocated)
+	}
+}
+
+func TestHomeTableHasNoBacking(t *testing.T) {
+	tb := NewTable(2, 64, true)
+	b, _, _ := tb.Acquire(7)
+	if b.Data != nil {
+		t.Fatal("home table must not allocate backing storage")
+	}
+}

@@ -1,0 +1,100 @@
+// Package netmodel defines the interconnect cost model used by the
+// simulated communication layer.
+//
+// The model is deliberately simple — a latency/bandwidth (LogGP-flavoured)
+// model with node topology — because the protocols under study (software
+// caching, work stealing, epoch-based release) are sensitive to message
+// counts, message sizes and round trips, not to fine interconnect detail.
+// Defaults approximate one rank's share of a Tofu-D-class RDMA network
+// (Table 1 of the paper).
+package netmodel
+
+import "ityr/internal/sim"
+
+// Params describes the simulated machine: topology and communication costs.
+type Params struct {
+	// CoresPerNode gives the number of ranks (one process per core, as in
+	// Itoyori) placed on each node. Rank r lives on node r/CoresPerNode.
+	CoresPerNode int
+
+	// Latency is the one-way inter-node RDMA latency.
+	Latency sim.Time
+	// Bandwidth is the per-rank inter-node bandwidth in bytes per
+	// nanosecond (1 byte/ns = 1 GB/s).
+	Bandwidth float64
+	// AtomicRTT is the round-trip cost of a remote atomic operation
+	// (compare-and-swap, fetch-and-op).
+	AtomicRTT sim.Time
+
+	// IntraLatency and IntraBandwidth apply between ranks on the same node
+	// (shared-memory transport).
+	IntraLatency   sim.Time
+	IntraBandwidth float64
+	// IntraAtomicRTT is the cost of an atomic to a rank on the same node.
+	IntraAtomicRTT sim.Time
+
+	// MsgOverhead is the origin-side CPU cost of issuing any one-sided
+	// operation (descriptor setup, doorbell).
+	MsgOverhead sim.Time
+}
+
+// Default returns Tofu-D-flavoured parameters with the given node width.
+func Default(coresPerNode int) Params {
+	return Params{
+		CoresPerNode:   coresPerNode,
+		Latency:        1200 * sim.Nanosecond,
+		Bandwidth:      6.0, // 6 GB/s per rank
+		AtomicRTT:      2600 * sim.Nanosecond,
+		IntraLatency:   250 * sim.Nanosecond,
+		IntraBandwidth: 16.0,
+		IntraAtomicRTT: 400 * sim.Nanosecond,
+		MsgOverhead:    120 * sim.Nanosecond,
+	}
+}
+
+// Node returns the node index hosting rank r.
+func (p Params) Node(r int) int {
+	if p.CoresPerNode <= 0 {
+		return r
+	}
+	return r / p.CoresPerNode
+}
+
+// SameNode reports whether ranks a and b share a node.
+func (p Params) SameNode(a, b int) bool { return p.Node(a) == p.Node(b) }
+
+// TransferTime returns the wire time for moving n bytes between ranks a and
+// b, excluding the origin-side MsgOverhead. Transfers between distinct
+// processes on the same node pay the shared-memory cost; a==b is free.
+func (p Params) TransferTime(a, b, n int) sim.Time {
+	if a == b {
+		return 0
+	}
+	if p.SameNode(a, b) {
+		return p.IntraLatency + sim.Time(float64(n)/p.IntraBandwidth)
+	}
+	return p.Latency + sim.Time(float64(n)/p.Bandwidth)
+}
+
+// SerializationTime returns the time n bytes occupy the origin NIC, used to
+// model back-to-back message pipelining.
+func (p Params) SerializationTime(a, b, n int) sim.Time {
+	if a == b {
+		return 0
+	}
+	if p.SameNode(a, b) {
+		return sim.Time(float64(n) / p.IntraBandwidth)
+	}
+	return sim.Time(float64(n) / p.Bandwidth)
+}
+
+// AtomicTime returns the cost of a remote atomic from rank a to rank b.
+func (p Params) AtomicTime(a, b int) sim.Time {
+	if a == b {
+		return 60 * sim.Nanosecond // local CAS through the NIC loopback
+	}
+	if p.SameNode(a, b) {
+		return p.IntraAtomicRTT
+	}
+	return p.AtomicRTT
+}

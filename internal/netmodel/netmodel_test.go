@@ -1,0 +1,65 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTopology(t *testing.T) {
+	p := Default(4)
+	if p.Node(0) != 0 || p.Node(3) != 0 || p.Node(4) != 1 || p.Node(11) != 2 {
+		t.Fatal("node mapping wrong for 4 cores/node")
+	}
+	if !p.SameNode(0, 3) || p.SameNode(3, 4) {
+		t.Fatal("SameNode wrong")
+	}
+	z := Params{} // CoresPerNode 0 → every rank its own node
+	if z.Node(7) != 7 {
+		t.Fatal("degenerate topology wrong")
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	p := Default(4)
+	const n = 4096
+	local := p.TransferTime(2, 2, n)
+	intra := p.TransferTime(0, 2, n)
+	inter := p.TransferTime(0, 5, n)
+	if !(local < intra && intra < inter) {
+		t.Fatalf("cost ordering violated: local=%d intra=%d inter=%d", local, intra, inter)
+	}
+	if p.AtomicTime(0, 0) >= p.AtomicTime(0, 1) {
+		t.Fatal("local atomic should be cheapest")
+	}
+	if p.AtomicTime(0, 1) >= p.AtomicTime(0, 5) {
+		t.Fatal("intra-node atomic should be cheaper than inter-node")
+	}
+}
+
+func TestTransferMonotonicInSize(t *testing.T) {
+	p := Default(2)
+	f := func(a, b uint16) bool {
+		x, y := int(a)%1000, int(b)%1000
+		small, big := x, y
+		if small > big {
+			small, big = big, small
+		}
+		return p.TransferTime(0, 3, small) <= p.TransferTime(0, 3, big)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializationExcludesLatency(t *testing.T) {
+	p := Default(1)
+	n := 6000
+	st := p.SerializationTime(0, 1, n)
+	tt := p.TransferTime(0, 1, n)
+	if st >= tt {
+		t.Fatalf("serialization %d should be below full transfer %d", st, tt)
+	}
+	if p.SerializationTime(1, 1, n) != 0 {
+		t.Fatal("self serialization should be free")
+	}
+}

@@ -1,0 +1,164 @@
+package pgas
+
+import (
+	"ityr/internal/prof"
+	"ityr/internal/region"
+	"ityr/internal/sim"
+)
+
+// Epoch-window layout: 16 bytes per rank.
+const (
+	offCurrentEpoch = 0
+	offRequestEpoch = 8
+)
+
+// CurrentEpoch returns this rank's write-back epoch (Fig. 6 currentEpoch).
+func (l *Local) CurrentEpoch() uint64 {
+	return l.space.epochWin.LocalUint64(l.rank, offCurrentEpoch)
+}
+
+func (l *Local) requestEpoch() uint64 {
+	return l.space.epochWin.LocalUint64(l.rank, offRequestEpoch)
+}
+
+// writeBackAll writes every dirty region of every cache block to its home,
+// then advances the epoch. Called for release fences, lazy-release polls,
+// and cache-pressure flushes; cat selects the profiler category charged.
+func (l *Local) writeBackAll(cat string) {
+	t0 := l.rank.Proc().Now()
+	wrote := false
+	for _, cb := range l.cache.DirtyBlocks() {
+		// Snapshot the intervals: issuing the puts advances virtual time,
+		// during which a node-mate sharing this cache may register new
+		// dirty regions. Only what we actually flushed is cleared.
+		ivs := append([]region.Interval(nil), cb.Dirty.Intervals()...)
+		for _, iv := range ivs {
+			l.putDirtyInterval(cb, iv)
+			wrote = true
+		}
+		for _, iv := range ivs {
+			cb.Dirty.Subtract(iv)
+		}
+	}
+	if wrote {
+		l.rank.Flush()
+	}
+	cur, req := l.CurrentEpoch(), l.requestEpoch()
+	if wrote || cur < req {
+		l.space.epochWin.StoreLocalUint64(l.rank, cur+1, offCurrentEpoch)
+		l.rank.Proc().Advance(costEpoch)
+	}
+	l.space.prof.AddName(cat, l.rank.ID(), l.rank.Proc().Now()-t0)
+}
+
+// ReleaseFence executes an eager release fence (§4.4): all dirty data is
+// written back to its home before the fence returns. Under NoCache and
+// WriteThrough there is never pending dirty data, so this is (nearly) free.
+func (l *Local) ReleaseFence() {
+	if l.space.cfg.Policy == NoCache {
+		return
+	}
+	l.writeBackAll(prof.CatRelease)
+}
+
+// ReleaseLazy is the fork-time release of Fig. 6 (ReleaseLazy): instead of
+// writing back, it returns a handler naming the epoch whose completion will
+// prove this rank's dirty data reached its home. If the cache is clean the
+// handler is Unneeded.
+func (l *Local) ReleaseLazy() ReleaseHandler {
+	if l.space.cfg.Policy != WriteBackLazy {
+		// Eager policies run the release fence right here (Release #1).
+		l.ReleaseFence()
+		return Unneeded
+	}
+	l.rank.Proc().Advance(costEpoch)
+	if len(l.cache.DirtyBlocks()) == 0 {
+		return Unneeded
+	}
+	l.space.Stats.LazyReleases++
+	return ReleaseHandler{Rank: l.rank.ID(), Epoch: l.CurrentEpoch() + 1, Needed: true}
+}
+
+// AcquireWith executes an acquire fence paired with the given release
+// handler (Fig. 6 Acquire): it waits until the releaser's epoch reaches the
+// handler's epoch — requesting a write-back with a remote atomic max on the
+// first poll — and then self-invalidates the local cache.
+func (l *Local) AcquireWith(h ReleaseHandler) {
+	s := l.space
+	t0 := l.rank.Proc().Now()
+	if h.Needed && s.cfg.Policy != NoCache {
+		if h.Rank == l.rank.ID() {
+			// The continuation came back to the releasing rank itself;
+			// its dirty data is local, so just complete the write-back.
+			if l.CurrentEpoch() < h.Epoch {
+				l.writeBackAll(prof.CatLazyRelease)
+			}
+		} else {
+			first := true
+			backoff := s.comm.Net().AtomicRTT
+			for {
+				cur := s.epochWin.GetUint64(l.rank, h.Rank, offCurrentEpoch)
+				if cur >= h.Epoch {
+					break
+				}
+				if first {
+					s.epochWin.MaxUint64(l.rank, h.Rank, offRequestEpoch, h.Epoch)
+					first = false
+				}
+				l.rank.Proc().Advance(backoff)
+				if backoff < 20*sim.Microsecond {
+					backoff *= 2
+				}
+			}
+		}
+	}
+	l.invalidateAll()
+	s.prof.AddName(prof.CatAcquire, l.rank.ID(), l.rank.Proc().Now()-t0)
+}
+
+// AcquireFence executes a plain acquire fence: self-invalidate the cache so
+// subsequent checkouts fetch fresh data. Used on thread migration arrival
+// when the matching releases were eager.
+func (l *Local) AcquireFence() {
+	t0 := l.rank.Proc().Now()
+	l.invalidateAll()
+	l.space.prof.AddName(prof.CatAcquire, l.rank.ID(), l.rank.Proc().Now()-t0)
+}
+
+func (l *Local) invalidateAll() {
+	if l.space.cfg.Policy == NoCache {
+		return
+	}
+	// The fence protocol guarantees a worker's cache is clean whenever an
+	// acquire runs (every suspension/steal path executed a release first).
+	// Write back defensively anyway: when the invariant holds this is
+	// free, and it makes invalidation safe under any schedule — clearing
+	// a dirty region's valid bit would let a later fetch overwrite it.
+	if len(l.cache.DirtyBlocks()) > 0 {
+		l.writeBackAll(prof.CatRelease)
+	}
+	l.cache.InvalidateAllExceptDirty()
+	l.rank.Proc().Advance(costInvalidate)
+	l.space.Stats.Invalidations++
+}
+
+// Poll is DoReleaseIfReqested of Fig. 6: if another rank requested a
+// write-back (requestEpoch > currentEpoch), perform it now. The threading
+// layer calls Poll at every fork, join and idle-loop iteration.
+func (l *Local) Poll() {
+	if l.space.cfg.Policy != WriteBackLazy {
+		return
+	}
+	if l.CurrentEpoch() < l.requestEpoch() {
+		l.writeBackAll(prof.CatLazyRelease)
+	}
+}
+
+// DirtyBytes reports the number of dirty bytes awaiting write-back.
+func (l *Local) DirtyBytes() uint64 {
+	var n uint64
+	for _, cb := range l.cache.DirtyBlocks() {
+		n += cb.Dirty.Bytes()
+	}
+	return n
+}

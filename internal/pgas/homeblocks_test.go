@@ -1,0 +1,84 @@
+package pgas
+
+import (
+	"testing"
+)
+
+// TestHomeBlockEvictionUnderMapBudget exercises §4.3.2: home blocks are
+// dynamically mapped with reference counts and evicted under the
+// memory-mapping-entry budget, so a process can access far more home
+// memory than it can keep mapped.
+func TestHomeBlockEvictionUnderMapBudget(t *testing.T) {
+	cfg := Config{
+		BlockSize:     256,
+		SubBlockSize:  64,
+		CacheSize:     4096,
+		MaxHomeBlocks: 4, // only 4 home blocks mappable at once
+		Policy:        WriteBack,
+	}
+	s := testCluster(t, 1, 1, cfg, func(l *Local) {
+		// 16 blocks of local home memory, all accessed round-robin twice.
+		base := l.AllocCollective(16*256, BlockDist)
+		for pass := 0; pass < 2; pass++ {
+			for b := 0; b < 16; b++ {
+				addr := base + Addr(b*256)
+				if pass == 0 {
+					v, err := l.Checkout(addr, 256, Write)
+					if err != nil {
+						t.Fatalf("block %d: %v", b, err)
+					}
+					for i := range v {
+						v[i] = byte(b)
+					}
+					l.Checkin(addr, 256, Write)
+				} else {
+					v, err := l.Checkout(addr, 256, Read)
+					if err != nil {
+						t.Fatalf("block %d pass 2: %v", b, err)
+					}
+					if v[0] != byte(b) || v[255] != byte(b) {
+						t.Fatalf("block %d corrupted after home eviction", b)
+					}
+					l.Checkin(addr, 256, Read)
+				}
+			}
+		}
+	})
+	// 32 block accesses through a 4-entry table must have evicted.
+	if s.Stats.Mmaps < 16 {
+		t.Fatalf("only %d mmaps; home blocks were not remapped under pressure", s.Stats.Mmaps)
+	}
+}
+
+// TestHomeBlocksPinnedWhileCheckedOut verifies the too-much-checkout
+// exception also applies to the home-block table (footnote path of §4.3.2).
+func TestHomeBlocksPinnedWhileCheckedOut(t *testing.T) {
+	cfg := Config{
+		BlockSize:     256,
+		SubBlockSize:  64,
+		CacheSize:     4096,
+		MaxHomeBlocks: 2,
+		Policy:        WriteBack,
+	}
+	testCluster(t, 1, 1, cfg, func(l *Local) {
+		base := l.AllocCollective(8*256, BlockDist)
+		// Pin both home blocks.
+		if _, err := l.Checkout(base, 256, Read); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Checkout(base+256, 256, Read); err != nil {
+			t.Fatal(err)
+		}
+		// A third mapping cannot be made while both are pinned.
+		if _, err := l.Checkout(base+512, 256, Read); err == nil {
+			t.Fatal("checkout beyond the home-block budget succeeded while pinned")
+		}
+		l.Checkin(base, 256, Read)
+		// Now one entry is evictable.
+		if _, err := l.Checkout(base+512, 256, Read); err != nil {
+			t.Fatalf("checkout after unpin failed: %v", err)
+		}
+		l.Checkin(base+512, 256, Read)
+		l.Checkin(base+256, 256, Read)
+	})
+}

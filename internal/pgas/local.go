@@ -1,0 +1,444 @@
+package pgas
+
+import (
+	"fmt"
+	"unsafe"
+
+	"ityr/internal/memblock"
+	"ityr/internal/prof"
+	"ityr/internal/region"
+	"ityr/internal/rma"
+	"ityr/internal/trace"
+)
+
+// alignedBytes returns an n-byte slice whose backing array is 8-byte
+// aligned, so checkout views can be reinterpreted as typed slices.
+func alignedBytes(n uint64) []byte {
+	if n == 0 {
+		return nil
+	}
+	w := make([]uint64, (n+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&w[0])), n)
+}
+
+// Local is one rank's handle on the global address space. All cache state
+// (cache blocks, home-block mappings, outstanding checkouts, epochs) is
+// private to the rank, mirroring Itoyori's one-process-per-core design.
+type Local struct {
+	space *Space
+	rank  *rma.Rank
+	cache *memblock.Table
+	home  *memblock.Table
+
+	outstanding []checkoutRec
+
+	// ProfCategory, when non-empty, redirects the time of subsequent
+	// checkout/checkin calls to the named profiler category instead of
+	// "Checkout"/"Checkin". The paper uses this to attribute the
+	// single-element loads of Cilksort's binary search to "Get".
+	ProfCategory string
+}
+
+// piece describes where one contiguous part of a checked-out region lives.
+type piece struct {
+	g Addr // global address of the piece start
+	n int  // length in bytes
+
+	// Cache path: cb holds the bytes at cb.Data[g - blockBase].
+	cb        *memblock.Block
+	blockBase Addr
+
+	// Home path: the bytes live in win.Seg(homeRank)[segOff:].
+	hb       *memblock.Block
+	homeRank int
+	win      *rma.Win
+	segOff   int
+}
+
+type checkoutRec struct {
+	addr   Addr
+	size   uint64
+	mode   Mode
+	view   []byte
+	pieces []piece
+}
+
+// Rank returns the underlying communication endpoint.
+func (l *Local) Rank() *rma.Rank { return l.rank }
+
+// Space returns the global address space.
+func (l *Local) Space() *Space { return l.space }
+
+// blockHome resolves the home of the block starting at g0 within a.
+func (s *Space) blockHome(a *allocation, g0 Addr) (rank int, win *rma.Win, off int) {
+	if a.base >= ncBase {
+		return int((a.base - ncBase) / ncSpan), a.win, int(g0 - a.base)
+	}
+	r, o := a.homeOf(g0, uint64(s.cfg.BlockSize))
+	return r, a.win, o
+}
+
+func (l *Local) profAs(def string) int {
+	if l.ProfCategory != "" {
+		return l.space.prof.Category(l.ProfCategory)
+	}
+	return l.space.prof.Category(def)
+}
+
+// Checkout claims access to the global region [addr, addr+size) in the
+// given mode and returns a view of it (§3.3). The view's contents are the
+// up-to-date global data for Read and ReadWrite, and undefined for Write.
+// Every Checkout must be paired with exactly one Checkin carrying the same
+// arguments. Checkout fails with ErrTooMuchCheckout when the region cannot
+// be pinned within the fixed-size cache; callers should then split the
+// access into smaller chunks.
+func (l *Local) Checkout(addr Addr, size uint64, mode Mode) ([]byte, error) {
+	s := l.space
+	t0 := l.rank.Proc().Now()
+	cat := l.profAs(prof.CatCheckout)
+	s.Stats.CheckoutCalls++
+
+	if size == 0 {
+		l.outstanding = append(l.outstanding, checkoutRec{addr: addr, size: 0, mode: mode})
+		return nil, nil
+	}
+
+	if s.cfg.Policy == NoCache {
+		// The paper's baseline: checkout/checkin become GET/PUT on a
+		// freshly allocated user buffer (§6.1).
+		view := alignedBytes(size)
+		if mode != Write {
+			if err := l.getInto(addr, view); err != nil {
+				return nil, err
+			}
+		}
+		l.outstanding = append(l.outstanding, checkoutRec{addr: addr, size: size, mode: mode, view: view})
+		s.prof.Add(cat, l.rank.ID(), l.rank.Proc().Now()-t0)
+		return view, nil
+	}
+
+	a, err := s.findAlloc(addr, size)
+	if err != nil {
+		return nil, err
+	}
+	bs := uint64(s.cfg.BlockSize)
+	sbs := uint64(s.cfg.SubBlockSize)
+	me := l.rank.ID()
+	net := s.comm.Net()
+
+	rec := checkoutRec{addr: addr, size: size, mode: mode}
+	undo := func() {
+		for _, p := range rec.pieces {
+			if p.cb != nil {
+				p.cb.Ref--
+			} else {
+				p.hb.Ref--
+			}
+		}
+	}
+
+	first := addr / bs
+	last := (addr + size - 1) / bs
+	for bid := first; bid <= last; bid++ {
+		g0 := Addr(bid * bs)
+		req := region.Interval{Lo: uint64(maxAddr(g0, addr)), Hi: uint64(minAddr(g0+Addr(bs), addr+Addr(size)))}
+		homeRank, win, segOff0 := s.blockHome(a, g0)
+		l.rank.Proc().Advance(costCheckoutBlock)
+
+		if net.SameNode(homeRank, me) {
+			// Home path: the block is (intra-node) shared memory, mapped
+			// directly into the global view (§4.1). Home blocks are still
+			// dynamically mapped and reference-counted (§4.3.2).
+			hb, evicted, herr := l.home.Acquire(int64(bid))
+			if herr != nil {
+				undo()
+				return nil, fmt.Errorf("%w: home blocks: %v", ErrTooMuchCheckout, herr)
+			}
+			if evicted != nil {
+				l.rank.Proc().Advance(costMmap) // unmap the evicted mapping
+				s.Stats.Mmaps++
+			}
+			if l.home.SetMapped(hb, true) {
+				l.rank.Proc().Advance(costMmap)
+				s.Stats.Mmaps++
+			}
+			hb.Ref++
+			s.Stats.HitBytes += req.Len()
+			rec.pieces = append(rec.pieces, piece{
+				g: Addr(req.Lo), n: int(req.Len()),
+				hb: hb, homeRank: homeRank, win: win,
+				segOff: segOff0 + int(Addr(req.Lo)-g0),
+			})
+			continue
+		}
+
+		// Cache path (Fig. 4).
+		if s.cfg.SharedCache {
+			// Concurrent processes contend on the shared table.
+			l.rank.Proc().Advance(costSharedLock)
+		}
+		cb, err := l.acquireCacheBlock(int64(bid))
+		if err != nil {
+			undo()
+			return nil, err
+		}
+		cb.Ref++
+		if mode == Write {
+			cb.Valid.Add(req)
+			s.Stats.HitBytes += req.Len()
+		} else if !cb.Valid.Contains(req) {
+			// Fetch missing sub-blocks from the home (Fig. 4 lines 17-21).
+			padded := region.Interval{
+				Lo: req.Lo / sbs * sbs,
+				Hi: (req.Hi + sbs - 1) / sbs * sbs,
+			}
+			if padded.Lo < uint64(g0) {
+				padded.Lo = uint64(g0)
+			}
+			limit := uint64(g0) + bs
+			if ncLimit := uint64(a.base) + uint64(len(win.Seg(homeRank))); a.base >= ncBase && ncLimit < limit {
+				limit = ncLimit
+			}
+			if padded.Hi > limit {
+				padded.Hi = limit
+			}
+			var fetched uint64
+			for _, m := range cb.Valid.Missing(padded) {
+				dst := cb.Data[m.Lo-uint64(g0) : m.Hi-uint64(g0)]
+				win.Get(l.rank, homeRank, segOff0+int(m.Lo-uint64(g0)), dst)
+				cb.Valid.Add(m)
+				s.Stats.FetchOps++
+				s.Stats.FetchBytes += m.Len()
+				fetched += m.Len()
+				s.TraceLog.Rec(l.rank.Proc().Now(), me, trace.KCacheMiss, int64(m.Len()))
+			}
+			if ov := req.Len(); ov > fetched {
+				s.Stats.HitBytes += ov - fetched
+			}
+		} else {
+			s.Stats.HitBytes += req.Len()
+		}
+		rec.pieces = append(rec.pieces, piece{
+			g: Addr(req.Lo), n: int(req.Len()),
+			cb: cb, blockBase: g0,
+		})
+	}
+
+	// Wait for all fetches (MPI_Win_flush_all at Fig. 4 line 30). With
+	// overlap enabled, the scheduler may run other tasks during the wait.
+	if s.CommWait != nil {
+		s.CommWait(l)
+	} else {
+		l.rank.Flush()
+	}
+
+	view := alignedBytes(size)
+	if mode != Write {
+		l.copyPieces(rec.pieces, view, addr, false)
+	}
+	rec.view = view
+	l.outstanding = append(l.outstanding, rec)
+	s.prof.Add(cat, l.rank.ID(), l.rank.Proc().Now()-t0)
+	return view, nil
+}
+
+// acquireCacheBlock gets a cache block for bid, writing back all dirty data
+// and retrying once if the cache is full of dirty blocks (§4.4).
+func (l *Local) acquireCacheBlock(bid int64) (*memblock.Block, error) {
+	cb, evicted, err := l.cache.Acquire(bid)
+	if err == memblock.ErrNoEvictable {
+		l.writeBackAll(prof.CatRelease)
+		cb, evicted, err = l.cache.Acquire(bid)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTooMuchCheckout, err)
+	}
+	if evicted != nil {
+		l.rank.Proc().Advance(costMmap)
+		l.space.Stats.Mmaps++
+		l.space.Stats.Evictions++
+		l.space.TraceLog.Rec(l.rank.Proc().Now(), l.rank.ID(), trace.KEviction, evicted.ID)
+	}
+	if l.cache.SetMapped(cb, true) {
+		l.rank.Proc().Advance(costMmap)
+		l.space.Stats.Mmaps++
+	}
+	return cb, nil
+}
+
+// copyPieces moves bytes between the view and the backing blocks/segments.
+// toBacking=false copies backing→view (checkout); true copies view→backing
+// (checkin).
+func (l *Local) copyPieces(pieces []piece, view []byte, addr Addr, toBacking bool) {
+	for _, p := range pieces {
+		v := view[p.g-addr : Addr(int(p.g-addr)+p.n)]
+		var backing []byte
+		if p.cb != nil {
+			backing = p.cb.Data[p.g-p.blockBase : Addr(int(p.g-p.blockBase)+p.n)]
+		} else {
+			backing = p.win.Seg(p.homeRank)[p.segOff : p.segOff+p.n]
+		}
+		if toBacking {
+			copy(backing, v)
+		} else {
+			copy(v, backing)
+		}
+	}
+}
+
+// Checkin completes a prior Checkout with identical arguments (§3.3). In
+// Write or ReadWrite mode the whole region is considered written: it is
+// propagated to its home immediately (write-through) or recorded dirty for
+// the next release fence (write-back).
+func (l *Local) Checkin(addr Addr, size uint64, mode Mode) error {
+	s := l.space
+	t0 := l.rank.Proc().Now()
+	cat := l.profAs(prof.CatCheckin)
+	s.Stats.CheckinCalls++
+
+	idx := -1
+	for i := len(l.outstanding) - 1; i >= 0; i-- {
+		r := &l.outstanding[i]
+		if r.addr == addr && r.size == size && r.mode == mode {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: (%#x, %d, %v)", ErrUnmatchedCheckin, addr, size, mode)
+	}
+	rec := l.outstanding[idx]
+	l.outstanding = append(l.outstanding[:idx], l.outstanding[idx+1:]...)
+
+	if s.cfg.Policy == NoCache {
+		if mode != Read {
+			if err := l.putFrom(rec.view, addr); err != nil {
+				return err
+			}
+		}
+		s.prof.Add(cat, l.rank.ID(), l.rank.Proc().Now()-t0)
+		return nil
+	}
+
+	if mode != Read {
+		l.copyPieces(rec.pieces, rec.view, addr, true)
+	}
+	flush := false
+	for _, p := range rec.pieces {
+		l.rank.Proc().Advance(costCheckinBlock)
+		if p.cb != nil {
+			if mode != Read {
+				iv := region.Interval{Lo: uint64(p.g), Hi: uint64(p.g) + uint64(p.n)}
+				if s.cfg.Policy == WriteThrough {
+					// Write dirty bytes home immediately, forgetting them.
+					l.putDirtyInterval(p.cb, iv)
+					flush = true
+				} else {
+					p.cb.Dirty.Add(iv)
+				}
+				// Re-validate the written region: the block now holds the
+				// freshest bytes even if a fence invalidated it between
+				// checkout and checkin (possible with a node-shared cache),
+				// and dirty ⊆ valid must hold so fetches never overwrite
+				// dirty data (Fig. 4 line 19).
+				p.cb.Valid.Add(iv)
+			}
+			p.cb.Ref--
+		} else {
+			// Home path: the copy above already updated home memory.
+			p.hb.Ref--
+		}
+	}
+	if flush {
+		l.rank.Flush()
+	}
+	s.prof.Add(cat, l.rank.ID(), l.rank.Proc().Now()-t0)
+	return nil
+}
+
+// putDirtyInterval writes the bytes of iv (global addresses, within cb's
+// block) from the cache block to their home. Nonblocking; callers flush.
+func (l *Local) putDirtyInterval(cb *memblock.Block, iv region.Interval) {
+	s := l.space
+	bs := uint64(s.cfg.BlockSize)
+	g0 := Addr(uint64(cb.ID) * bs)
+	a, err := s.findAlloc(Addr(iv.Lo), iv.Len())
+	if err != nil {
+		panic(fmt.Sprintf("pgas: dirty interval %v outside allocations: %v", iv, err))
+	}
+	homeRank, win, segOff0 := s.blockHome(a, g0)
+	src := cb.Data[iv.Lo-uint64(g0) : iv.Hi-uint64(g0)]
+	win.Put(l.rank, src, homeRank, segOff0+int(iv.Lo-uint64(g0)))
+	s.Stats.WriteBackOps++
+	s.Stats.WriteBackBytes += iv.Len()
+	s.TraceLog.Rec(l.rank.Proc().Now(), l.rank.ID(), trace.KWriteBack, int64(iv.Len()))
+}
+
+// getInto reads [addr, addr+len(dst)) from home memory into dst — the
+// conventional GET API (§2.2), a thin wrapper over one-sided reads with no
+// caching.
+func (l *Local) getInto(addr Addr, dst []byte) error {
+	err := l.space.forEachHomeSeg(addr, uint64(len(dst)), func(home int, win *rma.Win, off int, g Addr, n int) error {
+		win.Get(l.rank, home, off, dst[g-addr:Addr(int(g-addr)+n)])
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	l.rank.Flush()
+	return nil
+}
+
+// putFrom writes src to [addr, addr+len(src)) in home memory — the
+// conventional PUT API, uncached.
+func (l *Local) putFrom(src []byte, addr Addr) error {
+	err := l.space.forEachHomeSeg(addr, uint64(len(src)), func(home int, win *rma.Win, off int, g Addr, n int) error {
+		win.Put(l.rank, src[g-addr:Addr(int(g-addr)+n)], home, off)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	l.rank.Flush()
+	return nil
+}
+
+// Get is the public uncached GET API: it copies size bytes from global
+// memory to a fresh local buffer.
+func (l *Local) Get(addr Addr, size uint64) ([]byte, error) {
+	t0 := l.rank.Proc().Now()
+	dst := alignedBytes(size)
+	if err := l.getInto(addr, dst); err != nil {
+		return nil, err
+	}
+	l.space.prof.AddName(prof.CatGet, l.rank.ID(), l.rank.Proc().Now()-t0)
+	return dst, nil
+}
+
+// Put is the public uncached PUT API: it copies src to global memory.
+func (l *Local) Put(src []byte, addr Addr) error {
+	t0 := l.rank.Proc().Now()
+	if err := l.putFrom(src, addr); err != nil {
+		return err
+	}
+	l.space.prof.AddName(prof.CatPut, l.rank.ID(), l.rank.Proc().Now()-t0)
+	return nil
+}
+
+// OutstandingCheckouts returns the number of unmatched checkouts, used to
+// verify checkout/checkin pairing at thread switch points.
+func (l *Local) OutstandingCheckouts() int { return len(l.outstanding) }
+
+func maxAddr(a, b Addr) Addr {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minAddr(a, b Addr) Addr {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package pgas
+
+import (
+	"testing"
+)
+
+func sharedCfg() Config {
+	c := smallCfg(WriteBackLazy)
+	c.SharedCache = true
+	return c
+}
+
+func TestSharedCacheHitAcrossRanks(t *testing.T) {
+	// Ranks 0,1 on node 0; rank 2 alone on node 1 is the home. Rank 0
+	// fetches a region; rank 1's subsequent checkout must hit the shared
+	// node cache without refetching.
+	var fetchesAfterA, fetchesAfterB uint64
+	testCluster(t, 3, 2, sharedCfg(), func(l *Local) {
+		switch l.Rank().ID() {
+		case 2:
+			shared[0] = l.AllocLocal(512)
+			v, err := l.Checkout(shared[0], 512, Write)
+			if err != nil {
+				t.Error(err)
+			} else {
+				for i := range v {
+					v[i] = 9
+				}
+				l.Checkin(shared[0], 512, Write)
+				l.ReleaseFence()
+			}
+			l.Rank().Barrier()
+			l.Rank().Barrier() // wait for readers
+		case 0:
+			l.Rank().Barrier()
+			if _, err := l.Checkout(shared[0], 512, Read); err != nil {
+				t.Error(err)
+			} else {
+				l.Checkin(shared[0], 512, Read)
+			}
+			fetchesAfterA = l.Space().Stats.FetchOps
+			l.Rank().Barrier()
+		case 1:
+			l.Rank().Barrier()
+			// Run strictly after rank 0 by advancing past its access.
+			l.Rank().Proc().Advance(1 << 20)
+			v, err := l.Checkout(shared[0], 512, Read)
+			if err != nil {
+				t.Error(err)
+			} else {
+				if v[0] != 9 {
+					t.Errorf("shared cache returned %d, want 9", v[0])
+				}
+				l.Checkin(shared[0], 512, Read)
+			}
+			fetchesAfterB = l.Space().Stats.FetchOps
+			l.Rank().Barrier()
+		}
+	})
+	if fetchesAfterA == 0 {
+		t.Fatal("rank 0 never fetched")
+	}
+	if fetchesAfterB != fetchesAfterA {
+		t.Fatalf("rank 1 refetched despite shared cache: %d -> %d", fetchesAfterA, fetchesAfterB)
+	}
+}
+
+func TestPrivateCacheRefetchesAcrossRanks(t *testing.T) {
+	// Same scenario without SharedCache: rank 1 must fetch again.
+	var fetchesAfterA, fetchesAfterB uint64
+	testCluster(t, 3, 2, smallCfg(WriteBackLazy), func(l *Local) {
+		switch l.Rank().ID() {
+		case 2:
+			shared[0] = l.AllocLocal(512)
+			v, _ := l.Checkout(shared[0], 512, Write)
+			for i := range v {
+				v[i] = 9
+			}
+			l.Checkin(shared[0], 512, Write)
+			l.ReleaseFence()
+			l.Rank().Barrier()
+			l.Rank().Barrier()
+		case 0:
+			l.Rank().Barrier()
+			l.Checkout(shared[0], 512, Read)
+			l.Checkin(shared[0], 512, Read)
+			fetchesAfterA = l.Space().Stats.FetchOps
+			l.Rank().Barrier()
+		case 1:
+			l.Rank().Barrier()
+			l.Rank().Proc().Advance(1 << 20)
+			l.Checkout(shared[0], 512, Read)
+			l.Checkin(shared[0], 512, Read)
+			fetchesAfterB = l.Space().Stats.FetchOps
+			l.Rank().Barrier()
+		}
+	})
+	if fetchesAfterB <= fetchesAfterA {
+		t.Fatalf("private caches should refetch: %d -> %d", fetchesAfterA, fetchesAfterB)
+	}
+}
+
+func TestSharedCacheWriteReadRoundTrip(t *testing.T) {
+	// A writer and a (later) reader on the same node, data homed remotely:
+	// the reader must observe the write through the shared cache after the
+	// writer's release and its own acquire.
+	testCluster(t, 4, 2, sharedCfg(), func(l *Local) {
+		switch l.Rank().ID() {
+		case 2:
+			shared[1] = l.AllocLocal(64)
+			v, _ := l.Checkout(shared[1], 64, Write)
+			v[0] = 0
+			l.Checkin(shared[1], 64, Write)
+			l.ReleaseFence()
+			l.Rank().Barrier() // A: published
+			l.Rank().Barrier() // B: done
+		case 0:
+			l.Rank().Barrier() // A
+			v, _ := l.Checkout(shared[1], 64, ReadWrite)
+			v[0] = 77
+			l.Checkin(shared[1], 64, ReadWrite)
+			l.ReleaseFence()
+			l.Rank().Barrier() // B
+		case 1:
+			l.Rank().Barrier() // A
+			l.Rank().Proc().Advance(1 << 20)
+			l.AcquireFence()
+			v, _ := l.Checkout(shared[1], 64, Read)
+			if v[0] != 77 {
+				t.Errorf("read %d through shared cache, want 77", v[0])
+			}
+			l.Checkin(shared[1], 64, Read)
+			l.Rank().Barrier() // B
+		default:
+			l.Rank().Barrier()
+			l.Rank().Barrier()
+		}
+	})
+}

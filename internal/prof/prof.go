@@ -1,0 +1,148 @@
+// Package prof implements the runtime profiler that attributes accumulated
+// virtual time per rank to event categories, reproducing the performance
+// breakdowns of Fig. 9 of the paper.
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ityr/internal/sim"
+)
+
+// Standard runtime categories. Applications may register additional ones
+// (e.g. "Serial Quicksort") with Category.
+const (
+	CatGet         = "Get"
+	CatPut         = "Put"
+	CatCheckout    = "Checkout"
+	CatCheckin     = "Checkin"
+	CatRelease     = "Release"
+	CatLazyRelease = "Lazy Release"
+	CatAcquire     = "Acquire"
+	CatSteal       = "Steal"
+	CatOthers      = "Others"
+)
+
+// Profiler accumulates per-rank virtual time per category. It is driven
+// from simulation context (single-threaded), so no locking is needed.
+type Profiler struct {
+	nranks int
+	names  []string
+	index  map[string]int
+	acc    [][]sim.Time // [category][rank]
+}
+
+// New creates a profiler for nranks ranks with the standard categories
+// pre-registered.
+func New(nranks int) *Profiler {
+	p := &Profiler{nranks: nranks, index: make(map[string]int)}
+	for _, c := range []string{
+		CatGet, CatPut, CatCheckout, CatCheckin,
+		CatRelease, CatLazyRelease, CatAcquire, CatSteal,
+	} {
+		p.Category(c)
+	}
+	return p
+}
+
+// Category returns the index for a category name, registering it if new.
+func (p *Profiler) Category(name string) int {
+	if i, ok := p.index[name]; ok {
+		return i
+	}
+	i := len(p.names)
+	p.index[name] = i
+	p.names = append(p.names, name)
+	p.acc = append(p.acc, make([]sim.Time, p.nranks))
+	return i
+}
+
+// Add charges d nanoseconds on rank to the category with index cat.
+func (p *Profiler) Add(cat, rank int, d sim.Time) {
+	p.acc[cat][rank] += d
+}
+
+// AddName charges d nanoseconds on rank to the named category.
+func (p *Profiler) AddName(name string, rank int, d sim.Time) {
+	p.Add(p.Category(name), rank, d)
+}
+
+// Total returns the accumulated time over all ranks for a category name
+// (zero for unknown categories).
+func (p *Profiler) Total(name string) sim.Time {
+	i, ok := p.index[name]
+	if !ok {
+		return 0
+	}
+	var t sim.Time
+	for _, v := range p.acc[i] {
+		t += v
+	}
+	return t
+}
+
+// Breakdown returns, for an execution that took elapsed virtual time on
+// nranks ranks, the accumulated time per category plus an "Others" entry
+// holding the unattributed remainder (elapsed × ranks − Σ categories),
+// clamped at zero. Categories with zero time are omitted.
+func (p *Profiler) Breakdown(elapsed sim.Time) map[string]sim.Time {
+	out := make(map[string]sim.Time)
+	var sum sim.Time
+	for i, name := range p.names {
+		var t sim.Time
+		for _, v := range p.acc[i] {
+			t += v
+		}
+		if t > 0 {
+			out[name] = t
+		}
+		sum += t
+	}
+	others := elapsed*sim.Time(p.nranks) - sum
+	if others < 0 {
+		others = 0
+	}
+	out[CatOthers] = others
+	return out
+}
+
+// Reset clears all accumulated time.
+func (p *Profiler) Reset() {
+	for _, row := range p.acc {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}
+
+// Format renders a normalized breakdown table (largest share first).
+func (p *Profiler) Format(elapsed sim.Time) string {
+	bd := p.Breakdown(elapsed)
+	type kv struct {
+		k string
+		v sim.Time
+	}
+	var rows []kv
+	var total sim.Time
+	for k, v := range bd {
+		rows = append(rows, kv{k, v})
+		total += v
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].v != rows[j].v {
+			return rows[i].v > rows[j].v
+		}
+		return rows[i].k < rows[j].k
+	})
+	var b strings.Builder
+	for _, r := range rows {
+		frac := 0.0
+		if total > 0 {
+			frac = float64(r.v) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %-18s %12.3f ms  %5.1f%%\n", r.k, float64(r.v)/1e6, 100*frac)
+	}
+	return b.String()
+}

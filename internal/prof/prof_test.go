@@ -1,0 +1,80 @@
+package prof
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAccumulationAndTotals(t *testing.T) {
+	p := New(4)
+	p.AddName(CatGet, 0, 100)
+	p.AddName(CatGet, 1, 50)
+	p.AddName(CatCheckout, 2, 30)
+	if got := p.Total(CatGet); got != 150 {
+		t.Fatalf("Get total = %d, want 150", got)
+	}
+	if got := p.Total(CatCheckout); got != 30 {
+		t.Fatalf("Checkout total = %d", got)
+	}
+	if got := p.Total("never-registered"); got != 0 {
+		t.Fatalf("unknown category total = %d", got)
+	}
+}
+
+func TestCategoryRegistrationIdempotent(t *testing.T) {
+	p := New(2)
+	a := p.Category("Custom")
+	b := p.Category("Custom")
+	if a != b {
+		t.Fatalf("category indices differ: %d vs %d", a, b)
+	}
+	p.Add(a, 0, 10)
+	p.Add(b, 1, 20)
+	if p.Total("Custom") != 30 {
+		t.Fatalf("custom total = %d", p.Total("Custom"))
+	}
+}
+
+func TestBreakdownOthers(t *testing.T) {
+	p := New(2)
+	p.AddName(CatGet, 0, 400)
+	p.AddName(CatPut, 1, 100)
+	bd := p.Breakdown(1000) // 1000 ns elapsed × 2 ranks = 2000 total
+	if bd[CatGet] != 400 || bd[CatPut] != 100 {
+		t.Fatalf("breakdown = %v", bd)
+	}
+	if bd[CatOthers] != 1500 {
+		t.Fatalf("others = %d, want 1500", bd[CatOthers])
+	}
+}
+
+func TestBreakdownOthersClampedAtZero(t *testing.T) {
+	p := New(1)
+	p.AddName(CatGet, 0, 5000)
+	bd := p.Breakdown(1000) // categories exceed elapsed: clamp
+	if bd[CatOthers] != 0 {
+		t.Fatalf("others = %d, want 0", bd[CatOthers])
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(2)
+	p.AddName(CatGet, 0, 100)
+	p.Reset()
+	if p.Total(CatGet) != 0 {
+		t.Fatal("reset did not clear totals")
+	}
+}
+
+func TestFormatOrdersByShare(t *testing.T) {
+	p := New(1)
+	p.AddName("Small", 0, 10)
+	p.AddName("Large", 0, 1000)
+	s := p.Format(1010)
+	if !strings.Contains(s, "Large") || !strings.Contains(s, "Small") {
+		t.Fatalf("format missing categories: %s", s)
+	}
+	if strings.Index(s, "Large") > strings.Index(s, "Small") {
+		t.Fatalf("largest category not first:\n%s", s)
+	}
+}

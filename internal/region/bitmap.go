@@ -1,0 +1,163 @@
+package region
+
+import (
+	"math/bits"
+)
+
+// Bitmap is the alternative representation §4.3.1 of the paper mentions
+// for the valid-region tracking ("this is currently implemented as a
+// linked list of byte-granularity intervals, although a bitmap would be
+// another option"): one bit per byte over a fixed window [Base, Base+Size).
+//
+// Compared with Set, Bitmap has O(n/64) worst-case operations independent
+// of fragmentation, at a fixed 1/8 space overhead per tracked block; Set
+// is O(fragments) and nearly free for the common whole-block patterns.
+// The benchmarks in bitmap_test.go quantify the tradeoff; the cache uses
+// Set, matching the paper's implementation.
+type Bitmap struct {
+	base  uint64
+	size  uint64
+	words []uint64
+}
+
+// NewBitmap creates an empty bitmap tracking [base, base+size).
+func NewBitmap(base, size uint64) *Bitmap {
+	return &Bitmap{base: base, size: size, words: make([]uint64, (size+63)/64)}
+}
+
+func (b *Bitmap) clamp(iv Interval) (lo, hi uint64, ok bool) {
+	if iv.Lo < b.base {
+		iv.Lo = b.base
+	}
+	if iv.Hi > b.base+b.size {
+		iv.Hi = b.base + b.size
+	}
+	if iv.Lo >= iv.Hi {
+		return 0, 0, false
+	}
+	return iv.Lo - b.base, iv.Hi - b.base, true
+}
+
+// forWords visits the word-aligned pieces of [lo,hi): fn(wordIdx, mask).
+func (b *Bitmap) forWords(lo, hi uint64, fn func(w int, mask uint64)) {
+	for lo < hi {
+		w := lo / 64
+		start := lo % 64
+		end := uint64(64)
+		if w == (hi-1)/64 {
+			end = (hi-1)%64 + 1
+		}
+		var mask uint64
+		if end-start == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = ((uint64(1) << (end - start)) - 1) << start
+		}
+		fn(int(w), mask)
+		lo = (w + 1) * 64
+	}
+}
+
+// Add marks iv present.
+func (b *Bitmap) Add(iv Interval) {
+	if lo, hi, ok := b.clamp(iv); ok {
+		b.forWords(lo, hi, func(w int, m uint64) { b.words[w] |= m })
+	}
+}
+
+// Subtract marks iv absent.
+func (b *Bitmap) Subtract(iv Interval) {
+	if lo, hi, ok := b.clamp(iv); ok {
+		b.forWords(lo, hi, func(w int, m uint64) { b.words[w] &^= m })
+	}
+}
+
+// Contains reports whether all of iv is present. Bytes outside the
+// tracked window are never contained; the empty interval always is.
+func (b *Bitmap) Contains(iv Interval) bool {
+	if iv.Empty() {
+		return true
+	}
+	if iv.Lo < b.base || iv.Hi > b.base+b.size {
+		return false
+	}
+	ok := true
+	b.forWords(iv.Lo-b.base, iv.Hi-b.base, func(w int, m uint64) {
+		if b.words[w]&m != m {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// Clear removes everything.
+func (b *Bitmap) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Empty reports whether nothing is present.
+func (b *Bitmap) Empty() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes counts the present bytes.
+func (b *Bitmap) Bytes() uint64 {
+	var n int
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return uint64(n)
+}
+
+// Missing returns the absent sub-intervals of iv within the window, in
+// ascending order.
+func (b *Bitmap) Missing(iv Interval) []Interval {
+	lo, hi, ok := b.clamp(iv)
+	if !ok {
+		return nil
+	}
+	var out []Interval
+	runStart := int64(-1)
+	for i := lo; i < hi; i++ {
+		present := b.words[i/64]&(1<<(i%64)) != 0
+		if !present && runStart < 0 {
+			runStart = int64(i)
+		}
+		if present && runStart >= 0 {
+			out = append(out, Interval{uint64(runStart) + b.base, i + b.base})
+			runStart = -1
+		}
+	}
+	if runStart >= 0 {
+		out = append(out, Interval{uint64(runStart) + b.base, hi + b.base})
+	}
+	return out
+}
+
+// Intervals returns the present intervals in ascending order (for
+// diagnostics and write-back iteration).
+func (b *Bitmap) Intervals() []Interval {
+	var out []Interval
+	runStart := int64(-1)
+	for i := uint64(0); i < b.size; i++ {
+		present := b.words[i/64]&(1<<(i%64)) != 0
+		if present && runStart < 0 {
+			runStart = int64(i)
+		}
+		if !present && runStart >= 0 {
+			out = append(out, Interval{uint64(runStart) + b.base, i + b.base})
+			runStart = -1
+		}
+	}
+	if runStart >= 0 {
+		out = append(out, Interval{uint64(runStart) + b.base, b.size + b.base})
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(1000, 256)
+	b.Add(Interval{1010, 1020})
+	if !b.Contains(Interval{1012, 1018}) || b.Contains(Interval{1005, 1015}) {
+		t.Fatal("containment wrong")
+	}
+	if b.Bytes() != 10 {
+		t.Fatalf("bytes = %d", b.Bytes())
+	}
+	b.Subtract(Interval{1014, 1016})
+	if b.Bytes() != 8 || b.Contains(Interval{1010, 1020}) {
+		t.Fatal("subtract wrong")
+	}
+	miss := b.Missing(Interval{1010, 1020})
+	if len(miss) != 1 || miss[0] != (Interval{1014, 1016}) {
+		t.Fatalf("missing = %v", miss)
+	}
+}
+
+func TestBitmapWindowClamping(t *testing.T) {
+	b := NewBitmap(100, 64)
+	b.Add(Interval{0, 1000}) // covers the whole window and beyond
+	if b.Bytes() != 64 {
+		t.Fatalf("bytes = %d, want 64", b.Bytes())
+	}
+	if !b.Contains(Interval{100, 164}) {
+		t.Fatal("window not fully present")
+	}
+	if b.Contains(Interval{99, 101}) || b.Contains(Interval{163, 165}) {
+		t.Fatal("outside-window bytes reported present")
+	}
+}
+
+func TestBitmapWordBoundaries(t *testing.T) {
+	b := NewBitmap(0, 256)
+	// Exactly at 64-bit word boundaries.
+	b.Add(Interval{63, 65})
+	b.Add(Interval{128, 192})
+	if !b.Contains(Interval{63, 65}) || !b.Contains(Interval{128, 192}) {
+		t.Fatal("boundary adds lost")
+	}
+	if b.Bytes() != 2+64 {
+		t.Fatalf("bytes = %d", b.Bytes())
+	}
+	ivs := b.Intervals()
+	if len(ivs) != 2 || ivs[0] != (Interval{63, 65}) || ivs[1] != (Interval{128, 192}) {
+		t.Fatalf("intervals = %v", ivs)
+	}
+}
+
+// TestBitmapMatchesSet drives identical random operations through Bitmap
+// and Set and requires identical observable behaviour within the window.
+func TestBitmapMatchesSet(t *testing.T) {
+	const base, size = 4096, 512
+	f := func(seed int64, nops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bm := NewBitmap(base, size)
+		var st Set
+		for op := 0; op < int(nops)+10; op++ {
+			lo := base + uint64(rng.Intn(size))
+			hi := lo + uint64(rng.Intn(96))
+			if hi > base+size {
+				hi = base + size
+			}
+			iv := Interval{lo, hi}
+			if rng.Intn(3) == 0 {
+				bm.Subtract(iv)
+				st.Subtract(iv)
+			} else {
+				bm.Add(iv)
+				st.Add(iv)
+			}
+			if bm.Bytes() != st.Bytes() {
+				t.Logf("bytes diverge: bitmap %d vs set %d", bm.Bytes(), st.Bytes())
+				return false
+			}
+		}
+		for q := 0; q < 20; q++ {
+			lo := base + uint64(rng.Intn(size))
+			hi := lo + uint64(rng.Intn(96))
+			if hi > base+size {
+				hi = base + size
+			}
+			iv := Interval{lo, hi}
+			if bm.Contains(iv) != st.Contains(iv) {
+				t.Logf("contains(%v) diverges", iv)
+				return false
+			}
+			bMiss, sMiss := bm.Missing(iv), st.Missing(iv)
+			if len(bMiss) != len(sMiss) {
+				t.Logf("missing(%v): %v vs %v", iv, bMiss, sMiss)
+				return false
+			}
+			for i := range bMiss {
+				if bMiss[i] != sMiss[i] {
+					t.Logf("missing(%v): %v vs %v", iv, bMiss, sMiss)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Comparison benchmarks: the fragmentation tradeoff the paper alludes to.
+
+func BenchmarkSetFragmentedAdd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var s Set
+		for k := uint64(0); k < 512; k += 8 {
+			s.Add(Interval{k, k + 4})
+		}
+	}
+}
+
+func BenchmarkBitmapFragmentedAdd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bm := NewBitmap(0, 512)
+		for k := uint64(0); k < 512; k += 8 {
+			bm.Add(Interval{k, k + 4})
+		}
+	}
+}
+
+func BenchmarkSetWholeBlockPattern(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var s Set
+		s.Add(Interval{0, 65536})
+		_ = s.Contains(Interval{4096, 8192})
+		s.Clear()
+	}
+}
+
+func BenchmarkBitmapWholeBlockPattern(b *testing.B) {
+	bm := NewBitmap(0, 65536)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Add(Interval{0, 65536})
+		_ = bm.Contains(Interval{4096, 8192})
+		bm.Clear()
+	}
+}

@@ -1,0 +1,212 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddMergesAdjacent(t *testing.T) {
+	var s Set
+	s.Add(Interval{0, 10})
+	s.Add(Interval{10, 20}) // adjacent: must merge
+	if s.NumIntervals() != 1 {
+		t.Fatalf("set = %v, want single interval", s.String())
+	}
+	if !s.Contains(Interval{0, 20}) {
+		t.Fatalf("set %v should contain [0,20)", s.String())
+	}
+}
+
+func TestAddMergesOverlapping(t *testing.T) {
+	var s Set
+	s.Add(Interval{5, 15})
+	s.Add(Interval{0, 10})
+	s.Add(Interval{12, 30})
+	if s.NumIntervals() != 1 || s.Bytes() != 30 {
+		t.Fatalf("set = %v, want {[0,30)}", s.String())
+	}
+}
+
+func TestAddDisjointKeepsOrder(t *testing.T) {
+	var s Set
+	s.Add(Interval{20, 30})
+	s.Add(Interval{0, 5})
+	s.Add(Interval{40, 45})
+	ivs := s.Intervals()
+	if len(ivs) != 3 || ivs[0].Lo != 0 || ivs[1].Lo != 20 || ivs[2].Lo != 40 {
+		t.Fatalf("set = %v", s.String())
+	}
+}
+
+func TestSubtractSplits(t *testing.T) {
+	var s Set
+	s.Add(Interval{0, 100})
+	s.Subtract(Interval{40, 60})
+	if s.NumIntervals() != 2 || s.Bytes() != 80 {
+		t.Fatalf("set = %v", s.String())
+	}
+	if s.Contains(Interval{40, 41}) || !s.Contains(Interval{0, 40}) || !s.Contains(Interval{60, 100}) {
+		t.Fatalf("wrong coverage: %v", s.String())
+	}
+}
+
+func TestMissing(t *testing.T) {
+	var s Set
+	s.Add(Interval{10, 20})
+	s.Add(Interval{30, 40})
+	miss := s.Missing(Interval{0, 50})
+	want := []Interval{{0, 10}, {20, 30}, {40, 50}}
+	if len(miss) != len(want) {
+		t.Fatalf("missing = %v, want %v", miss, want)
+	}
+	for i := range want {
+		if miss[i] != want[i] {
+			t.Fatalf("missing = %v, want %v", miss, want)
+		}
+	}
+	if got := s.Missing(Interval{12, 18}); len(got) != 0 {
+		t.Fatalf("fully covered interval reported missing: %v", got)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	var s Set
+	s.Add(Interval{10, 20})
+	s.Add(Interval{30, 40})
+	ov := s.Overlap(Interval{15, 35})
+	want := []Interval{{15, 20}, {30, 35}}
+	if len(ov) != 2 || ov[0] != want[0] || ov[1] != want[1] {
+		t.Fatalf("overlap = %v, want %v", ov, want)
+	}
+}
+
+func TestEmptyIntervalNoOps(t *testing.T) {
+	var s Set
+	s.Add(Interval{5, 5})
+	if !s.Empty() {
+		t.Fatal("adding empty interval changed set")
+	}
+	s.Add(Interval{0, 10})
+	s.Subtract(Interval{7, 7})
+	if s.Bytes() != 10 {
+		t.Fatal("subtracting empty interval changed set")
+	}
+	if !s.Contains(Interval{3, 3}) {
+		t.Fatal("empty interval must always be contained")
+	}
+}
+
+// refSet is a bitmap reference implementation over a small universe.
+type refSet [256]bool
+
+func (r *refSet) add(iv Interval)      { r.apply(iv, true) }
+func (r *refSet) subtract(iv Interval) { r.apply(iv, false) }
+func (r *refSet) apply(iv Interval, v bool) {
+	for b := iv.Lo; b < iv.Hi && b < 256; b++ {
+		r[b] = v
+	}
+}
+func (r *refSet) contains(iv Interval) bool {
+	for b := iv.Lo; b < iv.Hi && b < 256; b++ {
+		if !r[b] {
+			return false
+		}
+	}
+	return true
+}
+func (r *refSet) bytes() uint64 {
+	var n uint64
+	for _, v := range r {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// TestQuickAgainstBitmap drives random Add/Subtract sequences and checks
+// the interval set against the bitmap reference, including normalization
+// invariants.
+func TestQuickAgainstBitmap(t *testing.T) {
+	f := func(seed int64, nops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Set
+		var ref refSet
+		for op := 0; op < int(nops)+5; op++ {
+			lo := uint64(rng.Intn(256))
+			hi := lo + uint64(rng.Intn(64))
+			if hi > 256 {
+				hi = 256
+			}
+			iv := Interval{lo, hi}
+			if rng.Intn(3) == 0 {
+				s.Subtract(iv)
+				ref.subtract(iv)
+			} else {
+				s.Add(iv)
+				ref.add(iv)
+			}
+			// Invariant: normalized (sorted, disjoint, non-adjacent, non-empty).
+			ivs := s.Intervals()
+			for i, cur := range ivs {
+				if cur.Empty() {
+					t.Logf("empty interval in set %v", s.String())
+					return false
+				}
+				if i > 0 && ivs[i-1].Hi >= cur.Lo {
+					t.Logf("unnormalized set %v", s.String())
+					return false
+				}
+			}
+			if s.Bytes() != ref.bytes() {
+				t.Logf("byte count %d != ref %d (set %v)", s.Bytes(), ref.bytes(), s.String())
+				return false
+			}
+		}
+		// Probe random containment and missing queries.
+		for q := 0; q < 30; q++ {
+			lo := uint64(rng.Intn(256))
+			hi := lo + uint64(rng.Intn(64))
+			if hi > 256 {
+				hi = 256
+			}
+			iv := Interval{lo, hi}
+			if s.Contains(iv) != ref.contains(iv) {
+				t.Logf("contains(%v) mismatch on %v", iv, s.String())
+				return false
+			}
+			// Missing ∪ Overlap must exactly tile iv.
+			parts := append(append([]Interval{}, s.Missing(iv)...), s.Overlap(iv)...)
+			var total uint64
+			for _, p := range parts {
+				total += p.Len()
+			}
+			if total != iv.Len() {
+				t.Logf("missing+overlap of %v covers %d bytes, want %d", iv, total, iv.Len())
+				return false
+			}
+			for _, m := range s.Missing(iv) {
+				for b := m.Lo; b < m.Hi; b++ {
+					if ref[b] {
+						t.Logf("missing region %v contains present byte %d", m, b)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAddFragmented(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var s Set
+		for k := 0; k < 128; k++ {
+			s.Add(Interval{uint64(k * 8), uint64(k*8 + 4)})
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package rma
+
+import (
+	"testing"
+
+	"ityr/internal/netmodel"
+	"ityr/internal/sim"
+)
+
+// TestNICSerialization checks the bandwidth model: k back-to-back messages
+// must serialize on the origin NIC (total ≈ k·size/bw + one latency), not
+// complete in parallel.
+func TestNICSerialization(t *testing.T) {
+	net := netmodel.Default(1)
+	const k, size = 8, 60000
+	var batched sim.Time
+	harness(t, 2, net, func(r *Rank) {
+		w := winFor(r)
+		if r.ID() == 0 {
+			start := r.Proc().Now()
+			buf := make([]byte, size)
+			for i := 0; i < k; i++ {
+				w.Get(r, 1, 0, buf) // same source region; only timing matters
+			}
+			r.Flush()
+			batched = r.Proc().Now() - start
+		}
+		r.Barrier()
+	})
+	wire := sim.Time(float64(k*size) / net.Bandwidth)
+	min := wire + net.Latency
+	if batched < min {
+		t.Fatalf("batched gets took %d, below serialized minimum %d", batched, min)
+	}
+	// But pipelining must save the per-message latency: far less than
+	// k × (latency + size/bw).
+	max := sim.Time(k)*(net.Latency+sim.Time(float64(size)/net.Bandwidth)) + sim.Time(k)*net.MsgOverhead
+	if batched >= max {
+		t.Fatalf("batched gets took %d, not pipelined (unpipelined would be %d)", batched, max)
+	}
+}
+
+// TestFlushIsIdempotent checks repeated flushes don't double-charge.
+func TestFlushIsIdempotent(t *testing.T) {
+	net := netmodel.Default(1)
+	harness(t, 2, net, func(r *Rank) {
+		w := winFor(r)
+		if r.ID() == 0 {
+			w.Get(r, 1, 0, make([]byte, 1000))
+			r.Flush()
+			after := r.Proc().Now()
+			r.Flush()
+			r.Flush()
+			if r.Proc().Now() != after {
+				t.Error("idle flush advanced time")
+			}
+		}
+		r.Barrier()
+	})
+}
+
+// TestGrowPreservesContents checks the dynamic window extension.
+func TestGrowPreservesContents(t *testing.T) {
+	net := netmodel.Default(1)
+	harness(t, 2, net, func(r *Rank) {
+		if r.ID() != 0 {
+			r.Barrier()
+			return
+		}
+		c := r.Comm()
+		w := c.NewUniformWin(16)
+		w.Put(r, []byte{1, 2, 3, 4}, 1, 0)
+		r.Flush()
+		w.Grow(1, 1<<20)
+		got := make([]byte, 4)
+		w.Get(r, 1, 0, got)
+		r.Flush()
+		if got[0] != 1 || got[3] != 4 {
+			t.Errorf("grow lost data: %v", got)
+		}
+		if len(w.Seg(1)) != 1<<20 {
+			t.Errorf("segment size %d after grow", len(w.Seg(1)))
+		}
+		if len(w.Seg(0)) != 16 {
+			t.Errorf("grow affected other rank's segment")
+		}
+		r.Barrier()
+	})
+}

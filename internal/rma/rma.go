@@ -1,0 +1,302 @@
+// Package rma provides the one-sided communication layer Itoyori builds on:
+// a simulated equivalent of MPI-3 RMA (MPI_WIN_UNIFIED).
+//
+// A Comm groups a fixed set of ranks, each driven by one simulated process.
+// Windows expose per-rank memory segments for one-sided Get/Put (nonblocking
+// until Flush) and remote atomics (blocking, as when offloaded to RDMA).
+// All costs are charged in virtual time through the netmodel parameters;
+// payload movement itself happens eagerly in host memory, which is sound
+// because Itoyori requires data-race-free programs — no conflicting access
+// can overlap an in-flight transfer.
+package rma
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ityr/internal/netmodel"
+	"ityr/internal/sim"
+)
+
+// Comm is a communicator over a fixed set of ranks.
+type Comm struct {
+	eng   *sim.Engine
+	net   netmodel.Params
+	ranks []*Rank
+
+	barrierWaiting int
+	barrierProcs   []*sim.Proc
+
+	// Stats
+	getBytes, putBytes uint64
+	getOps, putOps     uint64
+	atomicOps          uint64
+}
+
+// New creates a communicator with n ranks on engine e using network model p.
+func New(e *sim.Engine, n int, p netmodel.Params) *Comm {
+	c := &Comm{eng: e, net: p}
+	c.ranks = make([]*Rank, n)
+	for i := range c.ranks {
+		c.ranks[i] = &Rank{id: i, c: c}
+	}
+	return c
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Net returns the network parameters.
+func (c *Comm) Net() netmodel.Params { return c.net }
+
+// Engine returns the simulation engine.
+func (c *Comm) Engine() *sim.Engine { return c.eng }
+
+// Rank returns rank i.
+func (c *Comm) Rank(i int) *Rank { return c.ranks[i] }
+
+// Stats reports cumulative one-sided traffic.
+type Stats struct {
+	GetOps, PutOps, AtomicOps uint64
+	GetBytes, PutBytes        uint64
+}
+
+// Stats returns cumulative traffic counters.
+func (c *Comm) Stats() Stats {
+	return Stats{
+		GetOps: c.getOps, PutOps: c.putOps, AtomicOps: c.atomicOps,
+		GetBytes: c.getBytes, PutBytes: c.putBytes,
+	}
+}
+
+// Rank is one simulated process's endpoint. Exactly one simulated process
+// must drive a given rank (Attach), mirroring Itoyori's one-process-per-core
+// design.
+type Rank struct {
+	id   int
+	c    *Comm
+	proc *sim.Proc
+
+	nicFree sim.Time // when the NIC finishes serializing already-issued messages
+	pending sim.Time // completion time of the latest outstanding nonblocking op
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Comm returns the communicator.
+func (r *Rank) Comm() *Comm { return r.c }
+
+// Attach binds the simulated process that drives this rank. It must be
+// called before any communication from the rank.
+func (r *Rank) Attach(p *sim.Proc) { r.proc = p }
+
+// Proc returns the driving process.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Node returns the node hosting this rank.
+func (r *Rank) Node() int { return r.c.net.Node(r.id) }
+
+// issue models the origin-side cost and NIC serialization of a one-sided
+// data transfer to target, returning nothing; completion time is folded
+// into r.pending for the next Flush.
+func (r *Rank) issue(target, nbytes int) {
+	r.proc.Advance(r.c.net.MsgOverhead)
+	now := r.proc.Now()
+	if r.nicFree < now {
+		r.nicFree = now
+	}
+	r.nicFree += r.c.net.SerializationTime(r.id, target, nbytes)
+	done := r.nicFree + r.c.net.TransferTime(r.id, target, 0)
+	if target == r.id {
+		done = now // local window access completes immediately
+		_ = nbytes
+	}
+	if done > r.pending {
+		r.pending = done
+	}
+}
+
+// Flush blocks until all nonblocking operations issued by this rank have
+// completed, like MPI_Win_flush_all.
+func (r *Rank) Flush() {
+	if d := r.pending - r.proc.Now(); d > 0 {
+		r.proc.Advance(d)
+	}
+}
+
+// PendingTime returns the virtual time at which all currently outstanding
+// nonblocking operations will have completed — the earliest instant a
+// Flush issued now could return. Used by communication-computation
+// overlap to schedule work during the wait.
+func (r *Rank) PendingTime() sim.Time { return r.pending }
+
+// Barrier synchronizes all ranks in the communicator (SPMD regions only).
+func (r *Rank) Barrier() {
+	c := r.c
+	c.barrierWaiting++
+	if c.barrierWaiting < len(c.ranks) {
+		c.barrierProcs = append(c.barrierProcs, r.proc)
+		r.proc.Park()
+		return
+	}
+	// Last arriver releases everyone after a dissemination-style cost.
+	steps := 0
+	for n := 1; n < len(c.ranks); n *= 2 {
+		steps++
+	}
+	r.proc.Advance(sim.Time(steps) * c.net.Latency)
+	waiters := c.barrierProcs
+	c.barrierProcs = nil
+	c.barrierWaiting = 0
+	for _, p := range waiters {
+		p.Wake()
+	}
+}
+
+// Win is a one-sided memory window: one segment of bytes per rank.
+type Win struct {
+	c    *Comm
+	segs [][]byte
+}
+
+// NewWin creates a window where rank i exposes sizes[i] bytes. It is a
+// setup-time (SPMD) operation.
+func (c *Comm) NewWin(sizes []int) *Win {
+	if len(sizes) != len(c.ranks) {
+		panic(fmt.Sprintf("rma: NewWin got %d sizes for %d ranks", len(sizes), len(c.ranks)))
+	}
+	w := &Win{c: c}
+	w.segs = make([][]byte, len(sizes))
+	for i, s := range sizes {
+		w.segs[i] = make([]byte, s)
+	}
+	return w
+}
+
+// NewUniformWin creates a window with the same segment size on every rank.
+func (c *Comm) NewUniformWin(size int) *Win {
+	sizes := make([]int, len(c.ranks))
+	for i := range sizes {
+		sizes[i] = size
+	}
+	return c.NewWin(sizes)
+}
+
+// Seg returns rank i's raw segment. Direct access is only legitimate from
+// rank i itself or for setup/verification outside the simulation.
+func (w *Win) Seg(i int) []byte { return w.segs[i] }
+
+// Grow extends rank's segment to at least size bytes, preserving contents —
+// the equivalent of MPI_Win_create_dynamic + MPI_Win_attach for a heap that
+// grows on demand. Callers must not hold slices from Seg across a Grow.
+func (w *Win) Grow(rank, size int) {
+	if len(w.segs[rank]) >= size {
+		return
+	}
+	ns := make([]byte, size)
+	copy(ns, w.segs[rank])
+	w.segs[rank] = ns
+}
+
+func (w *Win) check(target, off, n int) {
+	if target < 0 || target >= len(w.segs) {
+		panic(fmt.Sprintf("rma: target rank %d out of range", target))
+	}
+	if off < 0 || n < 0 || off+n > len(w.segs[target]) {
+		panic(fmt.Sprintf("rma: access [%d,%d) outside segment of %d bytes on rank %d",
+			off, off+n, len(w.segs[target]), target))
+	}
+}
+
+// Get starts a nonblocking read of len(dst) bytes from target's segment at
+// off into dst. The data is guaranteed valid after the next Flush.
+func (w *Win) Get(r *Rank, target, off int, dst []byte) {
+	w.check(target, off, len(dst))
+	copy(dst, w.segs[target][off:])
+	r.issue(target, len(dst))
+	w.c.getOps++
+	w.c.getBytes += uint64(len(dst))
+}
+
+// Put starts a nonblocking write of src into target's segment at off.
+// Completion (remote visibility) is guaranteed after the next Flush.
+func (w *Win) Put(r *Rank, src []byte, target, off int) {
+	w.check(target, off, len(src))
+	copy(w.segs[target][off:], src)
+	r.issue(target, len(src))
+	w.c.putOps++
+	w.c.putBytes += uint64(len(src))
+}
+
+// GetUint64 is a blocking 8-byte read (issue + flush), as used for polling
+// remote scalars such as epochs.
+func (w *Win) GetUint64(r *Rank, target, off int) uint64 {
+	w.check(target, off, 8)
+	v := binary.LittleEndian.Uint64(w.segs[target][off:])
+	r.issue(target, 8)
+	r.Flush()
+	return v
+}
+
+// PutUint64 is a nonblocking 8-byte write.
+func (w *Win) PutUint64(r *Rank, v uint64, target, off int) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Put(r, b[:], target, off)
+}
+
+// LocalUint64 reads an 8-byte value from the rank's own segment without
+// any communication cost (local variables readable thanks to
+// MPI_WIN_UNIFIED, as exploited by the lazy-release polling path).
+func (w *Win) LocalUint64(r *Rank, off int) uint64 {
+	w.check(r.id, off, 8)
+	return binary.LittleEndian.Uint64(w.segs[r.id][off:])
+}
+
+// StoreLocalUint64 writes an 8-byte value into the rank's own segment.
+func (w *Win) StoreLocalUint64(r *Rank, v uint64, off int) {
+	w.check(r.id, off, 8)
+	binary.LittleEndian.PutUint64(w.segs[r.id][off:], v)
+}
+
+// CompareAndSwap atomically replaces the uint64 at (target, off) with new if
+// it equals old, returning the previous value. Blocking, like an RDMA
+// atomic followed by a flush.
+func (w *Win) CompareAndSwap(r *Rank, target, off int, old, new uint64) uint64 {
+	w.check(target, off, 8)
+	r.proc.Advance(w.c.net.AtomicTime(r.id, target))
+	prev := binary.LittleEndian.Uint64(w.segs[target][off:])
+	if prev == old {
+		binary.LittleEndian.PutUint64(w.segs[target][off:], new)
+	}
+	w.c.atomicOps++
+	return prev
+}
+
+// FetchAndAdd atomically adds delta to the uint64 at (target, off) and
+// returns the previous value. Blocking.
+func (w *Win) FetchAndAdd(r *Rank, target, off int, delta uint64) uint64 {
+	w.check(target, off, 8)
+	r.proc.Advance(w.c.net.AtomicTime(r.id, target))
+	prev := binary.LittleEndian.Uint64(w.segs[target][off:])
+	binary.LittleEndian.PutUint64(w.segs[target][off:], prev+delta)
+	w.c.atomicOps++
+	return prev
+}
+
+// MaxUint64 atomically raises the value at (target, off) to at least v,
+// emulating MPI_Fetch_and_op(MPI_MAX) with a compare-and-swap loop as the
+// paper does (footnote 6). It returns the value observed before the update.
+func (w *Win) MaxUint64(r *Rank, target, off int, v uint64) uint64 {
+	for {
+		cur := binary.LittleEndian.Uint64(w.segs[target][off:])
+		if cur >= v {
+			r.proc.Advance(w.c.net.AtomicTime(r.id, target))
+			return cur
+		}
+		if prev := w.CompareAndSwap(r, target, off, cur, v); prev == cur {
+			return prev
+		}
+	}
+}

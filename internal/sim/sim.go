@@ -1,0 +1,241 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel drives a set of simulated processes (one goroutine each) under
+// a single virtual clock. Exactly one process executes at any instant: the
+// engine and the processes hand control back and forth over unbuffered
+// channels, so all engine and process state is accessed by at most one
+// goroutine at a time and no locking is required. Given identical inputs,
+// a simulation is bit-reproducible.
+//
+// Time is measured in integer nanoseconds of virtual time. Ties between
+// events scheduled for the same instant are broken by scheduling order
+// (FIFO), which keeps runs deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time = int64
+
+// Common durations, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+type event struct {
+	at   Time
+	seq  uint64
+	fire func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; create engines with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	yield   chan struct{} // a process signals the engine here when it parks or exits
+	live    map[*Proc]struct{}
+	parked  map[*Proc]struct{}
+	current *Proc
+}
+
+// NewEngine returns a new engine with the clock at zero and no pending
+// events.
+func NewEngine() *Engine {
+	return &Engine{
+		yield:  make(chan struct{}),
+		live:   make(map[*Proc]struct{}),
+		parked: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run in engine context at time t. fn must not block;
+// it runs between process executions. Scheduling in the past is an error.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fire: fn})
+}
+
+// After schedules fn to run in engine context after duration d.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Spawn creates a new simulated process that will begin executing fn at the
+// current virtual time (after already-queued events for this instant).
+// The name is used in diagnostics only.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		Name:   name,
+		eng:    e,
+		resume: make(chan struct{}),
+	}
+	e.live[p] = struct{}{}
+	e.After(0, func() {
+		go func() {
+			<-p.resume
+			// The yield is deferred so that a process body terminated by
+			// runtime.Goexit (e.g. t.Fatal in tests) still returns control
+			// to the engine instead of deadlocking the host.
+			defer func() {
+				p.dead = true
+				e.yield <- struct{}{}
+			}()
+			fn(p)
+		}()
+		e.runProc(p)
+	})
+	return p
+}
+
+// runProc transfers control to p and waits until p parks or exits.
+func (e *Engine) runProc(p *Proc) {
+	prev := e.current
+	e.current = p
+	p.resume <- struct{}{}
+	<-e.yield
+	e.current = prev
+	if p.dead {
+		delete(e.live, p)
+		delete(e.parked, p)
+	}
+}
+
+// Current returns the process currently executing (nil between events).
+// Useful for layers that need to know on whose behalf a call is running.
+func (e *Engine) Current() *Proc { return e.current }
+
+// DeadlockError is returned by Run when the event queue drains while
+// processes are still parked with no pending wakeup.
+type DeadlockError struct {
+	// Parked lists the names of the stuck processes.
+	Parked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock: %d process(es) parked with no pending events: %v", len(d.Parked), d.Parked)
+}
+
+// Run executes events until the queue is empty. It returns a *DeadlockError
+// if any process is still alive (parked forever) when the queue drains, and
+// nil otherwise.
+func (e *Engine) Run() error {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fire()
+	}
+	if len(e.live) > 0 {
+		var names []string
+		for p := range e.live {
+			state := "running"
+			if _, ok := e.parked[p]; ok {
+				state = "parked"
+			}
+			names = append(names, p.Name+"("+state+")")
+		}
+		sort.Strings(names)
+		return &DeadlockError{Parked: names}
+	}
+	return nil
+}
+
+// Proc is a simulated process. Its methods must only be called from the
+// goroutine running the process body (with the exception of Wake, which may
+// be called from any process or engine-context callback).
+type Proc struct {
+	// Name identifies the process in diagnostics.
+	Name string
+
+	eng     *Engine
+	resume  chan struct{}
+	dead    bool
+	parked  bool
+	permits int
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Advance blocks the process for d nanoseconds of virtual time, modelling
+// local computation or fixed-cost operations. Advance(0) yields without
+// advancing the clock, letting same-instant events interleave
+// deterministically.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		panic("sim: negative Advance")
+	}
+	e := p.eng
+	e.After(d, func() { e.runProc(p) })
+	p.yield()
+}
+
+// Park suspends the process until another process (or engine callback)
+// calls Wake. If Wake was already called since the last Park, the permit is
+// consumed and Park returns immediately without yielding the clock.
+func (p *Proc) Park() {
+	if p.permits > 0 {
+		p.permits--
+		return
+	}
+	p.parked = true
+	p.eng.parked[p] = struct{}{}
+	p.yield()
+}
+
+// Wake unparks p at the current virtual time. If p is not parked, a permit
+// is stored and the next Park returns immediately. Each Wake grants exactly
+// one Park.
+func (p *Proc) Wake() {
+	e := p.eng
+	if p.parked {
+		p.parked = false
+		delete(e.parked, p)
+		e.After(0, func() { e.runProc(p) })
+		return
+	}
+	p.permits++
+}
+
+// yield returns control to the engine and blocks until the engine resumes
+// this process.
+func (p *Proc) yield() {
+	p.eng.yield <- struct{}{}
+	<-p.resume
+}

@@ -1,0 +1,163 @@
+// Package trace records timestamped runtime events (scheduler actions,
+// fences, cache misses) for debugging and performance analysis — the
+// simulator's equivalent of Itoyori's execution tracer. Logs can be
+// dumped as text, summarized per rank, or exported in the Chrome tracing
+// JSON format for visual timelines.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"ityr/internal/sim"
+)
+
+// Kind labels an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KFork Kind = iota
+	KSteal
+	KFailedSteal
+	KMigrate
+	KRelease
+	KLazyRelease
+	KAcquire
+	KCacheMiss
+	KWriteBack
+	KEviction
+	KRegionEnter
+	KRegionExit
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"fork", "steal", "failed-steal", "migrate", "release", "lazy-release",
+	"acquire", "cache-miss", "write-back", "eviction", "region-enter", "region-exit",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded occurrence. Arg is kind-specific (bytes for cache
+// events, victim rank for steals, ...).
+type Event struct {
+	T    sim.Time
+	Rank int
+	Kind Kind
+	Arg  int64
+}
+
+// Log is an event recorder. A nil *Log is valid and records nothing, so
+// callers need no enabled-checks.
+type Log struct {
+	events []Event
+}
+
+// New creates an empty log.
+func New() *Log { return &Log{} }
+
+// Rec appends an event. No-op on a nil log.
+func (l *Log) Rec(t sim.Time, rank int, kind Kind, arg int64) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, Event{T: t, Rank: rank, Kind: kind, Arg: arg})
+}
+
+// Len returns the number of recorded events (0 for nil).
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Events returns the recorded events in order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Count returns how many events of the given kind were recorded.
+func (l *Log) Count(kind Kind) int {
+	if l == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Dump writes one line per event.
+func (l *Log) Dump(w io.Writer) {
+	for _, e := range l.Events() {
+		fmt.Fprintf(w, "%12d ns  rank %3d  %-13s %d\n", e.T, e.Rank, e.Kind, e.Arg)
+	}
+}
+
+// Summary writes per-kind totals and per-rank counts for the busiest kinds.
+func (l *Log) Summary(w io.Writer) {
+	if l.Len() == 0 {
+		fmt.Fprintln(w, "trace: no events")
+		return
+	}
+	totals := map[Kind]int{}
+	ranks := map[int]bool{}
+	for _, e := range l.events {
+		totals[e.Kind]++
+		ranks[e.Rank] = true
+	}
+	kinds := make([]Kind, 0, len(totals))
+	for k := range totals {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return totals[kinds[i]] > totals[kinds[j]] })
+	fmt.Fprintf(w, "trace: %d events on %d ranks over %d ns\n",
+		len(l.events), len(ranks), l.events[len(l.events)-1].T-l.events[0].T)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-13s %8d\n", k, totals[k])
+	}
+}
+
+// chromeEvent is the Chrome tracing "instant event" schema.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	S    string  `json:"s"`
+}
+
+// ChromeJSON writes the log in the Chrome tracing (about://tracing /
+// Perfetto) JSON array format, one instant event per record, with one
+// "thread" per rank.
+func (l *Log) ChromeJSON(w io.Writer) error {
+	out := make([]chromeEvent, 0, l.Len())
+	for _, e := range l.Events() {
+		out = append(out, chromeEvent{
+			Name: e.Kind.String(),
+			Ph:   "i",
+			TS:   float64(e.T) / 1000,
+			PID:  0,
+			TID:  e.Rank,
+			S:    "t",
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

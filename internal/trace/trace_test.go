@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Rec(10, 0, KFork, 0) // must not panic
+	if l.Len() != 0 || l.Count(KFork) != 0 || l.Events() != nil {
+		t.Fatal("nil log misbehaved")
+	}
+	var sb strings.Builder
+	l.Dump(&sb)
+	if sb.Len() != 0 {
+		t.Fatal("nil dump wrote output")
+	}
+}
+
+func TestRecordAndQuery(t *testing.T) {
+	l := New()
+	l.Rec(100, 0, KFork, 0)
+	l.Rec(200, 1, KSteal, 0)
+	l.Rec(300, 1, KCacheMiss, 4096)
+	l.Rec(400, 0, KFork, 0)
+	if l.Len() != 4 || l.Count(KFork) != 2 || l.Count(KSteal) != 1 {
+		t.Fatalf("counts wrong: %d events, %d forks", l.Len(), l.Count(KFork))
+	}
+	if l.Events()[2].Arg != 4096 {
+		t.Fatal("arg lost")
+	}
+}
+
+func TestSummaryAndDump(t *testing.T) {
+	l := New()
+	for i := 0; i < 5; i++ {
+		l.Rec(int64(i*100), i%2, KFork, 0)
+	}
+	l.Rec(600, 1, KSteal, 0)
+	var sb strings.Builder
+	l.Summary(&sb)
+	if !strings.Contains(sb.String(), "fork") || !strings.Contains(sb.String(), "steal") {
+		t.Fatalf("summary missing kinds:\n%s", sb.String())
+	}
+	sb.Reset()
+	l.Dump(&sb)
+	if lines := strings.Count(sb.String(), "\n"); lines != 6 {
+		t.Fatalf("dump has %d lines, want 6", lines)
+	}
+}
+
+func TestChromeJSONWellFormed(t *testing.T) {
+	l := New()
+	l.Rec(1500, 2, KAcquire, 0)
+	l.Rec(2500, 3, KRelease, 0)
+	var sb strings.Builder
+	if err := l.ChromeJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]interface{}
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed) != 2 || parsed[0]["name"] != "acquire" || parsed[0]["tid"] != float64(2) {
+		t.Fatalf("chrome events wrong: %v", parsed)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if !strings.HasPrefix(Kind(200).String(), "kind(") {
+		t.Fatal("unknown kind should fall back")
+	}
+}

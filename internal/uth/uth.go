@@ -1,0 +1,567 @@
+// Package uth is the threading layer: user-level threads with child-first
+// (work-first) work stealing across ranks, the simulated equivalent of the
+// uni-address scheme's distributed continuation stealing (§2.1, §3.1).
+//
+// Each rank runs one worker. A Fork suspends the calling thread, makes its
+// continuation stealable on the local deque, and runs the child
+// immediately. If nobody steals the continuation, the child's completion
+// resumes the parent with no coherence actions (the serialized fast path);
+// if a thief takes it, the parent resumes on the thief's rank after the
+// appropriate release/acquire fences (Fig. 5), which the memory layer
+// supplies through the Hooks interface. Joins migrate the blocked parent to
+// the completing child's rank.
+//
+// Host-level concurrency note: every thread is a sim.Proc (its own
+// goroutine), but the engine runs exactly one at a time, and a per-rank
+// token — held by either the worker's scheduler process or the one thread
+// currently executing on the rank — keeps per-rank execution serial in
+// virtual time.
+package uth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ityr/internal/rma"
+	"ityr/internal/sim"
+)
+
+// Hooks connects the scheduler to the memory consistency layer. The rank
+// argument is always the rank on which the action occurs. Handlers are
+// opaque to the scheduler (pgas.ReleaseHandler in the full runtime).
+type Hooks interface {
+	// Poll runs deferred work (DoReleaseIfReqested of Fig. 6) — called at
+	// every fork, join and idle-loop iteration.
+	Poll(rank int)
+	// OnFork performs Release #1 (lazily under the lazy policy) and
+	// returns the handler the eventual thief must acquire against.
+	OnFork(rank int) any
+	// OnSteal performs Acquire #2 on the thief with the victim's handler,
+	// including the cache self-invalidation.
+	OnSteal(thiefRank int, handler any)
+	// OnSuspend performs Release #3 before a thread blocks at a join (and
+	// at region exit, to publish locally cached writes).
+	OnSuspend(rank int)
+	// OnChildStolenDone performs Release #2 when a child completes and
+	// its parent's continuation was stolen.
+	OnChildStolenDone(rank int)
+	// OnMigrateArrive performs Acquire #1 when a thread resumes on a
+	// different rank than the one where the writes it must observe were
+	// released.
+	OnMigrateArrive(rank int)
+}
+
+// NopHooks is a Hooks implementation that does nothing, for scheduler-only
+// tests and memory-free workloads.
+type NopHooks struct{}
+
+func (NopHooks) Poll(int)              {}
+func (NopHooks) OnFork(int) any        { return nil }
+func (NopHooks) OnSteal(int, any)      {}
+func (NopHooks) OnSuspend(int)         {}
+func (NopHooks) OnChildStolenDone(int) {}
+func (NopHooks) OnMigrateArrive(int)   {}
+
+// Config tunes the scheduler.
+type Config struct {
+	// StackBytes models the call-stack payload moved by a steal
+	// (uni-address stack transfer).
+	StackBytes int
+	// Seed seeds the per-worker victim-selection PRNGs.
+	Seed int64
+	// LocalityAware makes thieves try same-node victims (cheap steals,
+	// shared home memory) before stealing across nodes — a simple
+	// hierarchical scheduler in the direction of the locality-aware
+	// schedulers §8 of the paper names as future work. The default is the
+	// paper's purely random victim selection.
+	LocalityAware bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.StackBytes == 0 {
+		c.StackBytes = 2048
+	}
+	return c
+}
+
+// Local scheduling costs (virtual time).
+const (
+	costFork      = 120 * sim.Nanosecond // thread record + deque push
+	costJoinFast  = 50 * sim.Nanosecond
+	costSchedIter = 40 * sim.Nanosecond
+	// Failed steals are paced mostly by the remote CAS itself (as in the
+	// RDMA-based uni-address scheduler); the explicit backoff only damps
+	// event volume when the whole machine is idle.
+	backoffMin = 500 * sim.Nanosecond
+	backoffMax = 10 * sim.Microsecond
+)
+
+// Stats aggregates scheduler events.
+type Stats struct {
+	Forks        uint64
+	Steals       uint64
+	IntraSteals  uint64 // steals whose victim shared the thief's node
+	CommWaits    uint64 // checkouts that overlapped their fetch with other work
+	FailedSteals uint64
+	Migrations   uint64 // resumes on a rank other than where the thread suspended
+}
+
+// Sched is the cluster-wide work-stealing scheduler.
+type Sched struct {
+	comm    *rma.Comm
+	cfg     Config
+	hooks   Hooks
+	workers []*Worker
+	done    bool
+
+	// threadOf maps a live thread's process to its record, so layers that
+	// only know "the currently executing process" (e.g. the PGAS layer's
+	// communication-overlap hook) can find the thread.
+	threadOf map[*sim.Proc]*thread
+
+	// Stats holds cumulative scheduler statistics.
+	Stats Stats
+}
+
+// NewSched creates the scheduler over comm.
+func NewSched(comm *rma.Comm, cfg Config, hooks Hooks) *Sched {
+	cfg = cfg.withDefaults()
+	if hooks == nil {
+		hooks = NopHooks{}
+	}
+	s := &Sched{comm: comm, cfg: cfg, hooks: hooks, threadOf: make(map[*sim.Proc]*thread)}
+	s.workers = make([]*Worker, comm.Size())
+	for i := range s.workers {
+		s.workers[i] = &Worker{
+			sched: s,
+			rank:  comm.Rank(i),
+			rng:   rand.New(rand.NewSource(cfg.Seed ^ (int64(i)+1)*0x5DEECE66D)),
+		}
+	}
+	return s
+}
+
+// Worker is one rank's scheduler state.
+type Worker struct {
+	sched *Sched
+	rank  *rma.Rank
+	proc  *sim.Proc // the rank's SPMD/scheduler process
+	deque []*entry
+	rng   *rand.Rand
+
+	// ready holds threads paused on in-flight communication (overlap):
+	// each becomes runnable on this rank at its wake time.
+	ready []timedThread
+}
+
+// timedThread is a thread waiting for its communication to complete.
+type timedThread struct {
+	th    *thread
+	until sim.Time
+}
+
+// entry is a stealable parent continuation parked at a fork point.
+type entry struct {
+	th      *thread
+	handler any // Release #1 handler for the eventual thief
+	taken   bool
+}
+
+// thread is a user-level thread.
+type thread struct {
+	proc   *sim.Proc
+	worker *Worker // rank the thread is (or will next be) running on
+	parent *entry  // this thread's parent's continuation entry (nil for root)
+
+	fenceOnResume bool // run Acquire #1 when the thread next resumes
+
+	done       bool
+	doneRank   int
+	joinWaiter *thread
+	waiterRank int
+}
+
+// TB is the thread binding passed to every thread body: the interface
+// through which running code forks, joins and observes its current rank.
+// A TB is only valid on the goroutine of the thread it was created for.
+type TB struct {
+	w  *Worker
+	th *thread
+}
+
+// RankID returns the rank currently executing the thread. It may change
+// across Fork and Join calls (thread migration).
+func (tb *TB) RankID() int { return tb.w.rank.ID() }
+
+// Proc returns the thread's simulated process, for charging compute time.
+func (tb *TB) Proc() *sim.Proc { return tb.th.proc }
+
+// Sched returns the scheduler.
+func (tb *TB) Sched() *Sched { return tb.w.sched }
+
+// Thread is an opaque handle to a forked child, used to join it.
+type Thread struct{ th *thread }
+
+// Done reports whether the child has completed.
+func (t *Thread) Done() bool { return t.th.done }
+
+// WorkerMain enters a fork-join region: rank 0 spawns the root thread
+// running body; all ranks participate in work stealing until the root
+// completes. It must be called from every rank's SPMD process with the same
+// body, and returns on every rank when the region ends, with all global
+// memory writes from the region visible everywhere (a release on every
+// rank, a barrier, then an acquire on every rank). Multiple regions may run
+// in sequence.
+func (s *Sched) WorkerMain(rankID int, body func(*TB)) {
+	w := s.workers[rankID]
+	w.proc = w.rank.Proc()
+	w.rank.Barrier()
+	s.done = false
+	w.rank.Barrier()
+	if rankID == 0 {
+		root := &thread{worker: w}
+		w.proc.Engine().Spawn("root", func(p *sim.Proc) {
+			root.proc = p
+			s.threadOf[p] = root
+			defer delete(s.threadOf, p)
+			w.rank.Attach(p)
+			tb := &TB{w: w, th: root}
+			body(tb)
+			// Publish the root's final writes, end the region, and hand
+			// the token of whatever rank the root ended on back to its
+			// scheduler.
+			cur := tb.w
+			s.hooks.OnSuspend(cur.rank.ID())
+			s.done = true
+			cur.rank.Attach(cur.proc)
+			cur.proc.Wake()
+		})
+		w.proc.Park() // until a thread hands rank 0's token back
+		w.rank.Attach(w.proc)
+	}
+	w.schedLoop()
+	// Region exit: flush local caches so the SPMD code (and the next
+	// region) sees a consistent global view.
+	s.hooks.OnSuspend(rankID)
+	w.rank.Barrier()
+	s.hooks.OnMigrateArrive(rankID)
+	w.rank.Barrier()
+}
+
+// schedLoop runs scheduling: resume local continuations, else steal.
+func (w *Worker) schedLoop() {
+	s := w.sched
+	backoff := backoffMin
+	for !s.done {
+		s.hooks.Poll(w.rank.ID())
+		w.proc.Advance(costSchedIter)
+		// Threads whose communication completed take priority: they hold
+		// pinned cache blocks and their continuations are on the critical
+		// path.
+		if th, ok := w.popReadyDue(); ok {
+			w.resumeHere(th, false)
+			backoff = backoffMin
+			continue
+		}
+		if e := w.popBottom(); e != nil {
+			// A blocked thread left this continuation behind: run it
+			// locally. Same rank ⇒ no fences (§5.1).
+			w.resumeHere(e.th, false)
+			backoff = backoffMin
+			continue
+		}
+		if s.done {
+			break
+		}
+		if w.trySteal() {
+			backoff = backoffMin
+			continue
+		}
+		d := backoff
+		// Never sleep past a comm-waiting thread's wake time.
+		if wake, ok := w.minReadyWait(); ok && wake < d {
+			d = wake
+		}
+		if d < 1 {
+			d = 1
+		}
+		w.proc.Advance(d)
+		if backoff < backoffMax {
+			backoff *= 2
+		}
+	}
+}
+
+// resumeHere hands the rank token to th and parks the scheduler until a
+// thread hands it back.
+func (w *Worker) resumeHere(th *thread, fence bool) {
+	th.worker = w
+	th.fenceOnResume = fence
+	w.rank.Attach(th.proc)
+	th.proc.Wake()
+	w.proc.Park()
+	w.rank.Attach(w.proc)
+}
+
+// popBottom pops the newest entry from the local deque.
+func (w *Worker) popBottom() *entry {
+	if len(w.deque) == 0 {
+		return nil
+	}
+	e := w.deque[len(w.deque)-1]
+	w.deque = w.deque[:len(w.deque)-1]
+	return e
+}
+
+// trySteal attempts one steal, charging the one-sided costs of the
+// uni-address protocol (remote CAS on the deque, then fetching the
+// continuation's call stack). Victims are chosen uniformly at random, or
+// same-node-first under Config.LocalityAware.
+func (w *Worker) trySteal() bool {
+	s := w.sched
+	n := len(s.workers)
+	if n == 1 {
+		return false
+	}
+	vID := w.pickVictim()
+	v := s.workers[vID]
+	net := s.comm.Net()
+	me := w.rank.ID()
+	// Remote CAS claiming the victim deque's top.
+	w.proc.Advance(net.AtomicTime(me, vID))
+	if len(v.deque) == 0 {
+		s.Stats.FailedSteals++
+		return false
+	}
+	// Take the oldest entry and fetch the suspended thread's stack.
+	e := v.deque[0]
+	v.deque = v.deque[1:]
+	e.taken = true
+	s.Stats.Steals++
+	if net.SameNode(me, vID) {
+		s.Stats.IntraSteals++
+	}
+	s.Stats.Migrations++
+	w.proc.Advance(net.TransferTime(me, vID, s.cfg.StackBytes))
+	// Acquire #2 (with the victim's Release #1 handler) happens here on
+	// the thief; the resumed thread needs no further fence.
+	s.hooks.OnSteal(me, e.handler)
+	w.resumeHere(e.th, false)
+	return true
+}
+
+// pickVictim selects a steal victim. The purely random policy picks any
+// other rank uniformly; the locality-aware policy prefers a same-node
+// victim whose deque is visibly non-empty, falling back to uniform random
+// when the node looks empty.
+func (w *Worker) pickVictim() int {
+	s := w.sched
+	n := len(s.workers)
+	me := w.rank.ID()
+	if s.cfg.LocalityAware {
+		net := s.comm.Net()
+		cpn := net.CoresPerNode
+		if cpn > 1 {
+			base := (me / cpn) * cpn
+			off := w.rng.Intn(cpn)
+			for k := 0; k < cpn; k++ {
+				cand := base + (off+k)%cpn
+				if cand == me || cand >= n {
+					continue
+				}
+				if len(s.workers[cand].deque) > 0 {
+					return cand
+				}
+			}
+		}
+	}
+	vID := w.rng.Intn(n - 1)
+	if vID >= me {
+		vID++
+	}
+	return vID
+}
+
+// Fork creates a child thread running fn and executes it immediately,
+// making the caller's continuation stealable (child-first policy). It
+// returns when the caller is next scheduled — on this rank if the
+// continuation was not stolen, on the thief's rank otherwise.
+func (tb *TB) Fork(fn func(*TB)) *Thread {
+	w := tb.w
+	s := w.sched
+	s.hooks.Poll(w.rank.ID())
+	tb.th.proc.Advance(costFork)
+	s.Stats.Forks++
+
+	h := s.hooks.OnFork(w.rank.ID()) // Release #1
+
+	e := &entry{th: tb.th, handler: h}
+	w.deque = append(w.deque, e)
+
+	child := &thread{worker: w, parent: e}
+	w.proc.Engine().Spawn("thread", func(p *sim.Proc) {
+		child.proc = p
+		s.threadOf[p] = child
+		defer delete(s.threadOf, p)
+		cw := child.worker
+		cw.rank.Attach(p)
+		cb := &TB{w: cw, th: child}
+		fn(cb)
+		child.finish(cb.w)
+	})
+	// The child takes the rank token; the parent parks at the fork point.
+	// No time passes between the deque push and the park, so a thief
+	// cannot observe a pushed entry whose thread is still running.
+	tb.suspendAndResume()
+	return &Thread{th: child}
+}
+
+// finish handles thread completion on worker w (the rank that executed the
+// final part of the thread).
+func (th *thread) finish(w *Worker) {
+	s := w.sched
+	th.done = true
+	th.doneRank = w.rank.ID()
+	pe := th.parent
+	if !pe.taken && len(w.deque) > 0 && w.deque[len(w.deque)-1] == pe {
+		// Fast path: the parent's continuation is still at the bottom of
+		// our deque — resume it as a serialized call, no fences (§5.1).
+		w.deque = w.deque[:len(w.deque)-1]
+		th.proc.Advance(costJoinFast) // charged on the completing thread
+		pe.th.worker = w
+		pe.th.fenceOnResume = false
+		w.rank.Attach(pe.th.proc)
+		pe.th.proc.Wake()
+		return
+	}
+	// Slow path: the parent was stolen. Publish our writes (Release #2).
+	s.hooks.OnChildStolenDone(w.rank.ID())
+	if th.joinWaiter != nil {
+		// The parent is blocked at Join: migrate it here. It needs
+		// Acquire #1 on arrival unless it suspended on this very rank.
+		waiter := th.joinWaiter
+		th.joinWaiter = nil
+		waiter.worker = w
+		waiter.fenceOnResume = th.waiterRank != w.rank.ID()
+		if waiter.fenceOnResume {
+			s.Stats.Migrations++
+		}
+		w.rank.Attach(waiter.proc)
+		waiter.proc.Wake()
+		return
+	}
+	// Nobody waiting yet: give the rank token back to its scheduler.
+	w.rank.Attach(w.proc)
+	w.proc.Wake()
+}
+
+// suspendAndResume parks the calling thread and, upon resumption, rebinds
+// it to its (possibly new) worker and runs the migration acquire fence if
+// one is owed.
+func (tb *TB) suspendAndResume() {
+	th := tb.th
+	th.proc.Park()
+	tb.w = th.worker
+	if th.fenceOnResume {
+		th.fenceOnResume = false
+		tb.w.sched.hooks.OnMigrateArrive(tb.w.rank.ID())
+	}
+}
+
+// Join waits for a previously forked child. On the fast path (child already
+// complete on this rank) it returns immediately with no coherence actions.
+// Otherwise the caller releases its writes, blocks, and resumes on the rank
+// where the child completes, running an acquire fence on arrival.
+func (tb *TB) Join(t *Thread) {
+	w := tb.w
+	s := w.sched
+	s.hooks.Poll(w.rank.ID())
+	c := t.th
+	if c.done {
+		tb.th.proc.Advance(costJoinFast)
+		if c.doneRank != w.rank.ID() {
+			// Acquire #1: the child's writes were released on another rank.
+			s.hooks.OnMigrateArrive(w.rank.ID())
+		}
+		return
+	}
+	// The child is still running somewhere; block. The waiter registration
+	// must precede the release fence: the child may complete while the
+	// fence advances time, and must find us.
+	c.joinWaiter = tb.th
+	c.waiterRank = w.rank.ID()
+	s.hooks.OnSuspend(w.rank.ID()) // Release #3
+	// Give this rank's token back to its scheduler and park; the
+	// completing child will hand us its rank's token.
+	w.rank.Attach(w.proc)
+	w.proc.Wake()
+	tb.suspendAndResume()
+}
+
+// Yield lets long-running leaf code service deferred runtime work
+// (lazy-release polls) without a fork/join point.
+func (tb *TB) Yield() {
+	tb.w.sched.hooks.Poll(tb.w.rank.ID())
+}
+
+func (s *Sched) String() string {
+	return fmt.Sprintf("sched{forks=%d steals=%d failed=%d migrations=%d}",
+		s.Stats.Forks, s.Stats.Steals, s.Stats.FailedSteals, s.Stats.Migrations)
+}
+
+// popReadyDue removes and returns a comm-waiting thread whose wake time
+// has arrived.
+func (w *Worker) popReadyDue() (*thread, bool) {
+	now := w.proc.Now()
+	for i, tt := range w.ready {
+		if tt.until <= now {
+			w.ready = append(w.ready[:i], w.ready[i+1:]...)
+			return tt.th, true
+		}
+	}
+	return nil, false
+}
+
+// minReadyWait returns the shortest time until a comm-waiting thread wakes.
+func (w *Worker) minReadyWait() (sim.Time, bool) {
+	if len(w.ready) == 0 {
+		return 0, false
+	}
+	now := w.proc.Now()
+	min := w.ready[0].until - now
+	for _, tt := range w.ready[1:] {
+		if d := tt.until - now; d < min {
+			min = d
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	return min, true
+}
+
+// CommWait implements communication-computation overlap (§8 future work):
+// the thread currently executing (identified through the engine) parks
+// until the given virtual time, handing its rank's token back to the
+// scheduler so other tasks can run during the wait. It returns false —
+// having done nothing — when the caller is not a registered user-level
+// thread (e.g. SPMD-mode code), in which case the caller must block
+// conventionally.
+func (s *Sched) CommWait(until sim.Time) bool {
+	cur := s.comm.Engine().Current()
+	th := s.threadOf[cur]
+	if th == nil {
+		return false
+	}
+	if until <= cur.Now() {
+		return true // already complete: nothing to overlap
+	}
+	w := th.worker
+	s.Stats.CommWaits++
+	w.ready = append(w.ready, timedThread{th: th, until: until})
+	w.rank.Attach(w.proc)
+	w.proc.Wake()
+	th.proc.Park()
+	// Resumed by the scheduler at or after `until`, on the same rank.
+	return true
+}

@@ -1,0 +1,184 @@
+package ityr_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ityr"
+)
+
+func TestFillAndSum(t *testing.T) {
+	const n = 50000
+	var sum int64
+	_, err := ityr.LaunchRoot(testCfg(8, ityr.WriteBackLazy), func(c *ityr.Ctx) {
+		a := ityr.AllocArray[int64](c, n, ityr.BlockCyclicDist)
+		ityr.Fill(c, a, 3)
+		sum = ityr.Sum(c, a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 3*n {
+		t.Fatalf("sum = %d, want %d", sum, 3*n)
+	}
+}
+
+func TestGenerateTransformReduce(t *testing.T) {
+	const n = 20000
+	var total int64
+	_, err := ityr.LaunchRoot(testCfg(8, ityr.WriteBack), func(c *ityr.Ctx) {
+		a := ityr.AllocArray[int32](c, n, ityr.BlockCyclicDist)
+		b := ityr.AllocArray[int64](c, n, ityr.BlockCyclicDist)
+		ityr.Generate(c, a, func(i int64) int32 { return int32(i % 100) })
+		ityr.Transform(c, a, b, func(v int32) int64 { return int64(v) * 2 })
+		total = ityr.Sum(c, b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i := int64(0); i < n; i++ {
+		want += (i % 100) * 2
+	}
+	if total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+}
+
+func TestForEachMutatesInPlace(t *testing.T) {
+	const n = 10000
+	var sum int64
+	_, err := ityr.LaunchRoot(testCfg(4, ityr.WriteBackLazy), func(c *ityr.Ctx) {
+		a := ityr.AllocArray[int64](c, n, ityr.BlockDist)
+		ityr.Generate(c, a, func(i int64) int64 { return i })
+		ityr.ForEach(c, a, ityr.ReadWrite, func(i int64, v *int64) {
+			if *v != i {
+				t.Errorf("element %d = %d before mutation", i, *v)
+			}
+			*v++
+		})
+		sum = ityr.Sum(c, a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n)*(n-1)/2 + n; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestCount(t *testing.T) {
+	const n = 30000
+	var odd int64
+	_, err := ityr.LaunchRoot(testCfg(8, ityr.NoCache), func(c *ityr.Ctx) {
+		a := ityr.AllocArray[int32](c, n, ityr.BlockCyclicDist)
+		ityr.Generate(c, a, func(i int64) int32 { return int32(i) })
+		odd = ityr.Count(c, a, func(v int32) bool { return v%2 == 1 })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if odd != n/2 {
+		t.Fatalf("odd count = %d, want %d", odd, n/2)
+	}
+}
+
+func TestCopy(t *testing.T) {
+	const n = 8000
+	ok := true
+	_, err := ityr.LaunchRoot(testCfg(4, ityr.WriteThrough), func(c *ityr.Ctx) {
+		a := ityr.AllocArray[float64](c, n, ityr.BlockCyclicDist)
+		b := ityr.AllocArray[float64](c, n, ityr.BlockDist) // different distribution
+		ityr.Generate(c, a, func(i int64) float64 { return float64(i) * 0.25 })
+		ityr.Copy(c, a, b)
+		ityr.ForEach(c, b, ityr.Read, func(i int64, v *float64) {
+			if *v != float64(i)*0.25 {
+				ok = false
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("copy mismatch")
+	}
+}
+
+func TestInclusiveScan(t *testing.T) {
+	for _, n := range []int64{1, 7, 1000, 40000} {
+		n := n
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			var last int64
+			okAll := true
+			_, err := ityr.LaunchRoot(testCfg(8, ityr.WriteBackLazy), func(c *ityr.Ctx) {
+				src := ityr.AllocArray[int64](c, n, ityr.BlockCyclicDist)
+				dst := ityr.AllocArray[int64](c, n, ityr.BlockCyclicDist)
+				ityr.Fill(c, src, 1)
+				ityr.InclusiveScan(c, src, dst, 0, func(a, b int64) int64 { return a + b })
+				// dst[i] must be i+1.
+				ityr.ForEach(c, dst, ityr.Read, func(i int64, v *int64) {
+					if *v != i+1 {
+						okAll = false
+					}
+				})
+				last = ityr.GetVal(c, dst.At(n-1))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !okAll || last != n {
+				t.Fatalf("scan wrong: last=%d want %d", last, n)
+			}
+		})
+	}
+}
+
+func TestReduceNonCommutativeOrder(t *testing.T) {
+	// String-like fold via an associative but non-commutative combine
+	// (matrix-ish composition encoded in pairs): checks Reduce preserves
+	// left-to-right order across parallel splits.
+	type aff struct{ A, B int64 } // x → A·x + B (mod a prime), composition is associative
+	const p = 1000003
+	compose := func(f, g aff) aff { // apply f then g
+		return aff{A: g.A * f.A % p, B: (g.A*f.B + g.B) % p}
+	}
+	const n = 5000
+	var got aff
+	_, err := ityr.LaunchRoot(testCfg(8, ityr.WriteBack), func(c *ityr.Ctx) {
+		fs := ityr.AllocArray[aff](c, n, ityr.BlockCyclicDist)
+		ityr.Generate(c, fs, func(i int64) aff { return aff{A: (i%7 + 1), B: i % 11} })
+		got = ityr.Reduce(c, fs, aff{A: 1, B: 0}, compose,
+			func(a aff, v aff) aff { return compose(a, v) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := aff{A: 1, B: 0}
+	for i := int64(0); i < n; i++ {
+		want = compose(want, aff{A: (i%7 + 1), B: i % 11})
+	}
+	if got != want {
+		t.Fatalf("reduce = %+v, want %+v", got, want)
+	}
+}
+
+func TestPatternsRespectCacheLimit(t *testing.T) {
+	// A tiny cache forces small auto-grains; the pattern must still work.
+	cfg := testCfg(4, ityr.WriteBackLazy)
+	cfg.Pgas.CacheSize = 64 << 10
+	cfg.Pgas.BlockSize = 4 << 10
+	cfg.Pgas.SubBlockSize = 512
+	var sum int64
+	_, err := ityr.LaunchRoot(cfg, func(c *ityr.Ctx) {
+		a := ityr.AllocArray[int64](c, 20000, ityr.BlockCyclicDist)
+		ityr.Fill(c, a, 2)
+		sum = ityr.Sum(c, a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 40000 {
+		t.Fatalf("sum = %d", sum)
+	}
+}

@@ -1,0 +1,154 @@
+package ityr
+
+import (
+	"cmp"
+	"slices"
+
+	"ityr/internal/sim"
+)
+
+// Sort-related cost model (matches the cilksort benchmark's).
+const (
+	sortPerElemLog = 3 * sim.Nanosecond
+	mergePerElem   = 4 * sim.Nanosecond
+)
+
+// SortSpan sorts a global span in parallel with the Cilksort algorithm
+// (Fig. 1 of the paper) for any ordered element type: 4-way recursive
+// splitting, parallel merges with binary-search partitioning, and a serial
+// sort below an automatically chosen cutoff that keeps each leaf's
+// checkouts within the cache. A temporary buffer of equal size is
+// allocated collectively and freed afterwards.
+func SortSpan[T cmp.Ordered](c *Ctx, a GSpan[T]) {
+	if a.Len < 2 {
+		return
+	}
+	tmp := AllocArray[T](c, a.Len, BlockCyclicDist)
+	cutoff := autoGrain(c, SizeOf[T](), 3)
+	gsort(c, a, tmp, cutoff)
+	c.Local().FreeCollective(tmp.Ptr.Addr())
+}
+
+// SortSpanWith sorts using a caller-provided temporary buffer and cutoff —
+// the building block SortSpan wraps.
+func SortSpanWith[T cmp.Ordered](c *Ctx, a, tmp GSpan[T], cutoff int64) {
+	if a.Len != tmp.Len {
+		panic("ityr: SortSpanWith buffer length mismatch")
+	}
+	if cutoff < 4 {
+		cutoff = 4
+	}
+	gsort(c, a, tmp, cutoff)
+}
+
+func glog2(n int64) sim.Time {
+	var k sim.Time
+	for v := int64(1); v < n; v *= 2 {
+		k++
+	}
+	return k
+}
+
+func gsort[T cmp.Ordered](c *Ctx, a, b GSpan[T], cutoff int64) {
+	if a.Len < cutoff {
+		v := Checkout(c, a, ReadWrite)
+		slices.Sort(v)
+		c.Charge(sim.Time(a.Len) * sortPerElemLog * glog2(a.Len))
+		Checkin(c, a, ReadWrite)
+		return
+	}
+	a12, a34 := a.SplitTwo()
+	a1, a2 := a12.SplitTwo()
+	a3, a4 := a34.SplitTwo()
+	b12, b34 := b.SplitTwo()
+	b1, b2 := b12.SplitTwo()
+	b3, b4 := b34.SplitTwo()
+	c.ParallelInvoke(
+		func(c *Ctx) { gsort(c, a1, b1, cutoff) },
+		func(c *Ctx) { gsort(c, a2, b2, cutoff) },
+		func(c *Ctx) { gsort(c, a3, b3, cutoff) },
+		func(c *Ctx) { gsort(c, a4, b4, cutoff) },
+	)
+	c.ParallelInvoke(
+		func(c *Ctx) { gmerge(c, a1, a2, b12, cutoff) },
+		func(c *Ctx) { gmerge(c, a3, a4, b34, cutoff) },
+	)
+	gmerge(c, b12, b34, a, cutoff)
+}
+
+func gmerge[T cmp.Ordered](c *Ctx, s1, s2, d GSpan[T], cutoff int64) {
+	if s1.Len < s2.Len {
+		s1, s2 = s2, s1
+	}
+	if s2.Len == 0 {
+		Copy(c, s1, d)
+		return
+	}
+	if d.Len < cutoff {
+		v1 := Checkout(c, s1, Read)
+		v2 := Checkout(c, s2, Read)
+		vd := Checkout(c, d, Write)
+		i, j := 0, 0
+		for k := range vd {
+			if j >= len(v2) || (i < len(v1) && v1[i] <= v2[j]) {
+				vd[k] = v1[i]
+				i++
+			} else {
+				vd[k] = v2[j]
+				j++
+			}
+		}
+		c.Charge(sim.Time(d.Len) * mergePerElem)
+		Checkin(c, s1, Read)
+		Checkin(c, s2, Read)
+		Checkin(c, d, Write)
+		return
+	}
+	p1 := (s1.Len + 1) / 2
+	pivot := GetVal(c, s1.At(p1-1))
+	p2 := LowerBound(c, s2, pivot)
+	s11, s12 := s1.SplitAt(p1)
+	s21, s22 := s2.SplitAt(p2)
+	d1, d2 := d.SplitAt(p1 + p2)
+	c.ParallelInvoke(
+		func(c *Ctx) { gmerge(c, s11, s21, d1, cutoff) },
+		func(c *Ctx) { gmerge(c, s12, s22, d2, cutoff) },
+	)
+}
+
+// LowerBound returns the first index i in the sorted span with s[i] >= x,
+// probing global memory element by element (a sparse access pattern that
+// exercises the cache's sub-block fetching).
+func LowerBound[T cmp.Ordered](c *Ctx, s GSpan[T], x T) int64 {
+	lo, hi := int64(0), s.Len
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if GetVal(c, s.At(mid)) < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// IsSortedSpan reports whether the span is sorted, checking seams between
+// parallel chunks.
+func IsSortedSpan[T cmp.Ordered](c *Ctx, a GSpan[T]) bool {
+	if a.Len < 2 {
+		return true
+	}
+	ok := true
+	grain := autoGrain(c, SizeOf[T](), 1)
+	c.ParallelFor(0, a.Len-1, grain, func(c *Ctx, lo, hi int64) {
+		v := Checkout(c, a.Slice(lo, hi+1), Read)
+		for i := 0; i+1 < len(v); i++ {
+			if v[i] > v[i+1] {
+				ok = false
+			}
+		}
+		c.Charge(sim.Time(hi - lo))
+		Checkin(c, a.Slice(lo, hi+1), Read)
+	})
+	return ok
+}

@@ -1,0 +1,93 @@
+package ityr_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ityr"
+)
+
+func TestSortSpanTypes(t *testing.T) {
+	const n = 20000
+	t.Run("float64", func(t *testing.T) {
+		var ok bool
+		_, err := ityr.LaunchRoot(testCfg(8, ityr.WriteBackLazy), func(c *ityr.Ctx) {
+			a := ityr.AllocArray[float64](c, n, ityr.BlockCyclicDist)
+			ityr.Generate(c, a, func(i int64) float64 {
+				x := uint64(i)*0x9E3779B97F4A7C15 + 1
+				x ^= x >> 31
+				return float64(x%1000000) / 7
+			})
+			ityr.SortSpan(c, a)
+			ok = ityr.IsSortedSpan(c, a)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("float64 span not sorted")
+		}
+	})
+	t.Run("uint64", func(t *testing.T) {
+		var ok bool
+		var before, after uint64
+		_, err := ityr.LaunchRoot(testCfg(4, ityr.WriteBack), func(c *ityr.Ctx) {
+			a := ityr.AllocArray[uint64](c, n, ityr.BlockCyclicDist)
+			ityr.Generate(c, a, func(i int64) uint64 {
+				x := uint64(i) * 0xBF58476D1CE4E5B9
+				return x ^ (x >> 27)
+			})
+			before = ityr.Reduce(c, a, uint64(0), func(x, y uint64) uint64 { return x + y },
+				func(acc, v uint64) uint64 { return acc + v })
+			ityr.SortSpan(c, a)
+			after = ityr.Reduce(c, a, uint64(0), func(x, y uint64) uint64 { return x + y },
+				func(acc, v uint64) uint64 { return acc + v })
+			ok = ityr.IsSortedSpan(c, a)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || before != after {
+			t.Fatalf("ok=%v checksum %d -> %d", ok, before, after)
+		}
+	})
+}
+
+func TestSortSpanEdgeSizes(t *testing.T) {
+	for _, n := range []int64{0, 1, 2, 5, 63} {
+		n := n
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			var ok bool
+			_, err := ityr.LaunchRoot(testCfg(2, ityr.WriteBackLazy), func(c *ityr.Ctx) {
+				a := ityr.AllocArray[int32](c, n+1, ityr.BlockDist) // +1: nonzero alloc
+				s := a.Slice(0, n)
+				ityr.Generate(c, a, func(i int64) int32 { return int32(1000 - i) })
+				ityr.SortSpan(c, s)
+				ok = ityr.IsSortedSpan(c, s)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatal("not sorted")
+			}
+		})
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	_, err := ityr.LaunchRoot(testCfg(2, ityr.WriteBack), func(c *ityr.Ctx) {
+		a := ityr.AllocArray[int32](c, 100, ityr.BlockDist)
+		ityr.Generate(c, a, func(i int64) int32 { return int32(i) * 2 }) // 0,2,4,...
+		for _, tc := range []struct{ x, want int32 }{
+			{-5, 0}, {0, 0}, {1, 1}, {2, 1}, {3, 2}, {198, 99}, {199, 100}, {500, 100},
+		} {
+			if got := ityr.LowerBound(c, a, tc.x); got != int64(tc.want) {
+				t.Errorf("LowerBound(%d) = %d, want %d", tc.x, got, tc.want)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
