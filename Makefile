@@ -1,0 +1,35 @@
+# Checks every PR must pass. `make check` is the full gate; the individual
+# targets exist so CI can fan them out. The race target covers the event
+# kernel and the one-sided layer, whose no-host-races-by-construction claim
+# (exactly one simulated goroutine runs at a time, handoffs through channel
+# edges) is what the whole deterministic simulation rests on.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench hostperf
+
+check: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim ./internal/rma
+
+# Host-side kernel throughput (not part of check: timing-sensitive).
+bench:
+	$(GO) test -bench BenchmarkSimEngine -run xxx ./internal/sim
+	$(GO) test -bench BenchmarkRMAOps -run xxx ./internal/rma
+
+hostperf:
+	$(GO) run ./cmd/itybench -hostperf BENCH_sim.json -count 3

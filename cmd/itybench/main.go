@@ -8,11 +8,16 @@
 //	itybench -fig 7          # only Figure 7
 //	itybench -scale quick    # reduced sizes
 //	itybench -env            # print the simulated environment (Table 1)
+//	itybench -hostperf BENCH_sim.json -count 3
+//	                         # host-side kernel microbenchmarks (events/sec,
+//	                         # RMA ops/sec), best of -count runs, written as
+//	                         # machine-readable JSON
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -23,7 +28,33 @@ func main() {
 	fig := flag.String("fig", "all", "experiment to run: 7, 8, 9, 10, 11, t2, abl, or all")
 	scaleName := flag.String("scale", "full", "experiment scale: smoke, quick, or full")
 	env := flag.Bool("env", false, "print the simulated environment (Table 1) and exit")
+	hostperf := flag.String("hostperf", "", "run host-perf microbenchmarks and write JSON report to this file ('-' for stdout)")
+	count := flag.Int("count", 3, "with -hostperf: runs per benchmark (best is kept)")
 	flag.Parse()
+
+	if *hostperf != "" {
+		// Human summary goes to stderr when the JSON itself claims stdout,
+		// so `-hostperf - | jq` stays parseable.
+		summary := io.Writer(os.Stdout)
+		out := os.Stdout
+		if *hostperf == "-" {
+			summary = os.Stderr
+		} else {
+			f, err := os.Create(*hostperf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		rep := bench.HostPerf(summary, *count)
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var sc bench.Scale
 	switch *scaleName {

@@ -9,6 +9,7 @@ package cilksort
 
 import (
 	"slices"
+	"sync"
 
 	"ityr"
 	"ityr/internal/sim"
@@ -73,7 +74,7 @@ func log2(n int64) sim.Time {
 func cilksort(c *ityr.Ctx, a, b ityr.GSpan[Elem], cutoff int64) {
 	if a.Len < cutoff {
 		v := ityr.Checkout(c, a, ityr.ReadWrite)
-		slices.Sort(v)
+		sortLeaf(v)
 		c.ChargeAs(CatQuicksort, sim.Time(a.Len)*quickPerElemLog*log2(a.Len))
 		ityr.Checkin(c, a, ityr.ReadWrite)
 		return
@@ -126,21 +127,92 @@ func serialMerge(c *ityr.Ctx, s1, s2, d ityr.GSpan[Elem]) {
 	v1 := ityr.Checkout(c, s1, ityr.Read)
 	v2 := ityr.Checkout(c, s2, ityr.Read)
 	vd := ityr.Checkout(c, d, ityr.Write)
-	i, j := 0, 0
-	for k := range vd {
-		if j >= len(v2) || (i < len(v1) && v1[i] <= v2[j]) {
+	i, j, k := 0, 0, 0
+	for i < len(v1) && j < len(v2) {
+		if v1[i] <= v2[j] {
 			vd[k] = v1[i]
 			i++
 		} else {
 			vd[k] = v2[j]
 			j++
 		}
+		k++
 	}
+	k += copy(vd[k:], v1[i:])
+	copy(vd[k:], v2[j:])
 	c.ChargeAs(CatMerge, sim.Time(d.Len)*mergePerElem)
 	ityr.Checkin(c, s1, ityr.Read)
 	ityr.Checkin(c, s2, ityr.Read)
 	ityr.Checkin(c, d, ityr.Write)
 }
+
+// sortLeaf sorts a sub-cutoff leaf on the host. The simulated cost charged
+// for the leaf is the analytic quicksort model above regardless of the host
+// algorithm, so this may use the fastest correct host sort: an LSD radix
+// sort on the sign-flipped bit pattern (two 11-bit and one 10-bit pass),
+// falling back to the standard library for tiny slices where the counting
+// passes do not pay for themselves.
+func sortLeaf(v []Elem) {
+	if len(v) < 128 {
+		slices.Sort(v)
+		return
+	}
+	scratch := getScratch(len(v))
+	defer putScratch(scratch)
+	const r1, r2 = 11, 11 // pass radixes: 11 + 11 + 10 = 32 bits
+	var c1 [1 << r1]int32
+	var c2 [1 << r2]int32
+	var c3 [1 << (32 - r1 - r2)]int32
+	for _, x := range v {
+		u := uint32(x) ^ 0x80000000 // order-preserving map to uint32
+		c1[u&(1<<r1-1)]++
+		c2[u>>r1&(1<<r2-1)]++
+		c3[u>>(r1+r2)]++
+	}
+	exclusivePrefixSum(c1[:])
+	exclusivePrefixSum(c2[:])
+	exclusivePrefixSum(c3[:])
+	for _, x := range v {
+		u := uint32(x) ^ 0x80000000
+		b := &c1[u&(1<<r1-1)]
+		scratch[*b] = x
+		*b++
+	}
+	for _, x := range scratch {
+		u := uint32(x) ^ 0x80000000
+		b := &c2[u>>r1&(1<<r2-1)]
+		v[*b] = x
+		*b++
+	}
+	for _, x := range v {
+		u := uint32(x) ^ 0x80000000
+		b := &c3[u>>(r1+r2)]
+		scratch[*b] = x
+		*b++
+	}
+	copy(v, scratch)
+}
+
+func exclusivePrefixSum(c []int32) {
+	var sum int32
+	for i, n := range c {
+		c[i] = sum
+		sum += n
+	}
+}
+
+// scratchPool recycles radix-sort scratch buffers across leaves. The pool
+// only affects host allocation behaviour, never simulated time.
+var scratchPool sync.Pool
+
+func getScratch(n int) []Elem {
+	if s, ok := scratchPool.Get().([]Elem); ok && cap(s) >= n {
+		return s[:n]
+	}
+	return make([]Elem, n)
+}
+
+func putScratch(s []Elem) { scratchPool.Put(s[:0]) }
 
 func copySpan(c *ityr.Ctx, s, d ityr.GSpan[Elem]) {
 	vs := ityr.Checkout(c, s, ityr.Read)

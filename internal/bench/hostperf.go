@@ -1,0 +1,239 @@
+// Host-performance microbenchmarks: how fast the *host* executes the
+// simulation, as opposed to every other file in this package, which measures
+// simulated time. The runner drives the same dispatch regimes as the
+// internal/sim and internal/rma benchmarks and emits a machine-readable
+// report (BENCH_sim.json) so the host-perf trajectory can be tracked across
+// PRs. None of this affects simulated results.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"ityr/internal/netmodel"
+	"ityr/internal/rma"
+	"ityr/internal/sim"
+)
+
+// HostPerfBaseline holds the ns/op of the pre-fast-path event kernel
+// (container/heap queue, one allocation and two channel handoffs per event),
+// measured on the same regimes when the zero-handoff kernel landed. Future
+// runs compare against these to report the cumulative speedup.
+var HostPerfBaseline = map[string]float64{
+	"SimEngine/AdvanceFast": 571.7,
+	"SimEngine/AdvanceSelf": 573.8,
+	"SimEngine/PingPong":    589.3,
+	"SimEngine/ParkWake":    668.8,
+	"SimEngine/Callbacks":   54.07,
+	"SimEngine/Mixed":       625.7,
+	"RMAOps/PutFlush":       1719.0,
+	"RMAOps/GetBatch":       862.9,
+	"RMAOps/FetchAndAdd":    675.1,
+	"RMAOps/LocalPut":       760.3,
+}
+
+// HostPerfResult is one benchmark's outcome, in both ns/op and ops/sec of
+// host wall-clock ("ops" are simulated events for the SimEngine group and
+// one-sided operations for the RMAOps group).
+type HostPerfResult struct {
+	Name             string  `json:"name"`
+	Metric           string  `json:"metric"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	OpsPerSec        float64 `json:"ops_per_sec"`
+	BaselineNsPerOp  float64 `json:"baseline_ns_per_op,omitempty"`
+	SpeedupVsBase    float64 `json:"speedup_vs_baseline,omitempty"`
+	RunsAveragedOver int     `json:"runs"`
+}
+
+// HostPerfReport is the BENCH_sim.json document.
+type HostPerfReport struct {
+	Schema     string           `json:"schema"`
+	Count      int              `json:"count"`
+	Benchmarks []HostPerfResult `json:"benchmarks"`
+}
+
+func hostPerfCases() []struct {
+	name, metric string
+	fn           func(b *testing.B)
+} {
+	return []struct {
+		name, metric string
+		fn           func(b *testing.B)
+	}{
+		{"SimEngine/AdvanceFast", "events/sec", func(b *testing.B) {
+			e := sim.NewEngine()
+			e.Spawn("p", func(p *sim.Proc) {
+				for i := 0; i < b.N; i++ {
+					p.Advance(10)
+				}
+			})
+			runEngine(b, e)
+		}},
+		{"SimEngine/AdvanceSelf", "events/sec", func(b *testing.B) {
+			e := sim.NewEngine()
+			e.Spawn("p", func(p *sim.Proc) {
+				for i := 0; i < b.N; i++ {
+					p.Advance(0)
+				}
+			})
+			runEngine(b, e)
+		}},
+		{"SimEngine/PingPong", "events/sec", func(b *testing.B) {
+			e := sim.NewEngine()
+			for pi := 0; pi < 2; pi++ {
+				e.Spawn("p", func(p *sim.Proc) {
+					for i := 0; i < b.N/2; i++ {
+						p.Advance(10)
+					}
+				})
+			}
+			runEngine(b, e)
+		}},
+		{"SimEngine/ParkWake", "events/sec", func(b *testing.B) {
+			e := sim.NewEngine()
+			consumer := e.Spawn("consumer", func(p *sim.Proc) {
+				for i := 0; i < b.N/2; i++ {
+					p.Park()
+				}
+			})
+			e.Spawn("producer", func(p *sim.Proc) {
+				for i := 0; i < b.N/2; i++ {
+					p.Advance(5)
+					consumer.Wake()
+				}
+			})
+			runEngine(b, e)
+		}},
+		{"SimEngine/Callbacks", "events/sec", func(b *testing.B) {
+			e := sim.NewEngine()
+			n := 0
+			var tick func()
+			tick = func() {
+				if n < b.N {
+					n++
+					e.After(10, tick)
+				}
+			}
+			e.After(10, tick)
+			runEngine(b, e)
+		}},
+		{"SimEngine/Mixed", "events/sec", func(b *testing.B) {
+			e := sim.NewEngine()
+			e.Spawn("poller", func(p *sim.Proc) {
+				for i := 0; i < b.N/16; i++ {
+					p.Advance(1000)
+				}
+			})
+			e.Spawn("issuer", func(p *sim.Proc) {
+				for i := 0; i < b.N-b.N/16; i++ {
+					p.Advance(50)
+				}
+			})
+			runEngine(b, e)
+		}},
+		{"RMAOps/PutFlush", "ops/sec", func(b *testing.B) {
+			buf := make([]byte, 256)
+			runRMA(b, func(r *rma.Rank, w *rma.Win, n int) {
+				for i := 0; i < n; i++ {
+					w.Put(r, buf, 1, 0)
+					r.Flush()
+				}
+			})
+		}},
+		{"RMAOps/GetBatch", "ops/sec", func(b *testing.B) {
+			buf := make([]byte, 256)
+			runRMA(b, func(r *rma.Rank, w *rma.Win, n int) {
+				for i := 0; i < n; i += 8 {
+					for j := 0; j < 8 && i+j < n; j++ {
+						w.Get(r, 1, 0, buf)
+					}
+					r.Flush()
+				}
+			})
+		}},
+		{"RMAOps/FetchAndAdd", "ops/sec", func(b *testing.B) {
+			runRMA(b, func(r *rma.Rank, w *rma.Win, n int) {
+				for i := 0; i < n; i++ {
+					w.FetchAndAdd(r, 1, 0, 1)
+				}
+			})
+		}},
+		{"RMAOps/LocalPut", "ops/sec", func(b *testing.B) {
+			buf := make([]byte, 256)
+			runRMA(b, func(r *rma.Rank, w *rma.Win, n int) {
+				for i := 0; i < n; i++ {
+					w.Put(r, buf, 0, 0)
+				}
+				r.Flush()
+			})
+		}},
+	}
+}
+
+func runEngine(b *testing.B, e *sim.Engine) {
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func runRMA(b *testing.B, body func(r *rma.Rank, w *rma.Win, n int)) {
+	e := sim.NewEngine()
+	c := rma.New(e, 2, netmodel.Default(2))
+	w := c.NewUniformWin(1 << 16)
+	for i := 0; i < 2; i++ {
+		r := c.Rank(i)
+		e.Spawn("rank", func(p *sim.Proc) {
+			r.Attach(p)
+			if r.ID() == 0 {
+				body(r, w, b.N)
+			}
+		})
+	}
+	runEngine(b, e)
+}
+
+// HostPerf runs every microbenchmark count times, keeps each one's best run
+// (standard practice for throughput benchmarks: the minimum ns/op is the
+// least-disturbed measurement), writes a human summary to w, and returns the
+// report for serialization.
+func HostPerf(w io.Writer, count int) HostPerfReport {
+	if count < 1 {
+		count = 1
+	}
+	rep := HostPerfReport{Schema: "itoyori-hostperf/v1", Count: count}
+	for _, c := range hostPerfCases() {
+		best := 0.0 // ns/op; 0 = unset
+		for i := 0; i < count; i++ {
+			r := testing.Benchmark(c.fn)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		res := HostPerfResult{
+			Name:             c.name,
+			Metric:           c.metric,
+			NsPerOp:          best,
+			OpsPerSec:        1e9 / best,
+			RunsAveragedOver: count,
+		}
+		if base, ok := HostPerfBaseline[c.name]; ok {
+			res.BaselineNsPerOp = base
+			res.SpeedupVsBase = base / best
+		}
+		fmt.Fprintf(w, "%-24s %10.2f ns/op  %14.0f %s  (%5.1fx vs pre-fast-path kernel)\n",
+			c.name, res.NsPerOp, res.OpsPerSec, res.Metric, res.SpeedupVsBase)
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+	return rep
+}
+
+// WriteJSON serializes the report as indented JSON.
+func (rep HostPerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -32,11 +32,65 @@ type Local struct {
 
 	outstanding []checkoutRec
 
+	// viewPool and piecePool recycle checkout view buffers and piece lists
+	// retired by Checkin. Purely a host-allocation optimization: pooling
+	// never touches simulated time, and a view's contents are either
+	// undefined (Write) or fully overwritten from backing (Read modes), so
+	// reuse is invisible to callers who honour the checkout contract.
+	viewPool  [][]byte
+	piecePool [][]piece
+
 	// ProfCategory, when non-empty, redirects the time of subsequent
 	// checkout/checkin calls to the named profiler category instead of
 	// "Checkout"/"Checkin". The paper uses this to attribute the
 	// single-element loads of Cilksort's binary search to "Get".
 	ProfCategory string
+}
+
+// poolLimit bounds the per-rank recycling pools.
+const poolLimit = 32
+
+// getView returns an n-byte 8-aligned buffer, reusing a retired view when
+// one is large enough.
+func (l *Local) getView(n uint64) []byte {
+	for i := len(l.viewPool) - 1; i >= 0; i-- {
+		if b := l.viewPool[i]; uint64(cap(b)) >= n {
+			last := len(l.viewPool) - 1
+			l.viewPool[i] = l.viewPool[last]
+			l.viewPool[last] = nil
+			l.viewPool = l.viewPool[:last]
+			return b[:n]
+		}
+	}
+	return alignedBytes(n)
+}
+
+// putView retires a view buffer for reuse.
+func (l *Local) putView(b []byte) {
+	if cap(b) == 0 || len(l.viewPool) >= poolLimit {
+		return
+	}
+	l.viewPool = append(l.viewPool, b[:0])
+}
+
+// getPieces returns an empty piece list with recycled capacity.
+func (l *Local) getPieces() []piece {
+	if n := len(l.piecePool); n > 0 {
+		p := l.piecePool[n-1]
+		l.piecePool[n-1] = nil
+		l.piecePool = l.piecePool[:n-1]
+		return p
+	}
+	return nil
+}
+
+// putPieces retires a piece list for reuse, dropping block references.
+func (l *Local) putPieces(p []piece) {
+	if cap(p) == 0 || len(l.piecePool) >= poolLimit {
+		return
+	}
+	clear(p[:cap(p)])
+	l.piecePool = append(l.piecePool, p[:0])
 }
 
 // piece describes where one contiguous part of a checked-out region lives.
@@ -106,7 +160,7 @@ func (l *Local) Checkout(addr Addr, size uint64, mode Mode) ([]byte, error) {
 	if s.cfg.Policy == NoCache {
 		// The paper's baseline: checkout/checkin become GET/PUT on a
 		// freshly allocated user buffer (§6.1).
-		view := alignedBytes(size)
+		view := l.getView(size)
 		if mode != Write {
 			if err := l.getInto(addr, view); err != nil {
 				return nil, err
@@ -126,7 +180,7 @@ func (l *Local) Checkout(addr Addr, size uint64, mode Mode) ([]byte, error) {
 	me := l.rank.ID()
 	net := s.comm.Net()
 
-	rec := checkoutRec{addr: addr, size: size, mode: mode}
+	rec := checkoutRec{addr: addr, size: size, mode: mode, pieces: l.getPieces()}
 	undo := func() {
 		for _, p := range rec.pieces {
 			if p.cb != nil {
@@ -232,7 +286,7 @@ func (l *Local) Checkout(addr Addr, size uint64, mode Mode) ([]byte, error) {
 		l.rank.Flush()
 	}
 
-	view := alignedBytes(size)
+	view := l.getView(size)
 	if mode != Write {
 		l.copyPieces(rec.pieces, view, addr, false)
 	}
@@ -316,6 +370,7 @@ func (l *Local) Checkin(addr Addr, size uint64, mode Mode) error {
 				return err
 			}
 		}
+		l.putView(rec.view)
 		s.prof.Add(cat, l.rank.ID(), l.rank.Proc().Now()-t0)
 		return nil
 	}
@@ -352,6 +407,8 @@ func (l *Local) Checkin(addr Addr, size uint64, mode Mode) error {
 	if flush {
 		l.rank.Flush()
 	}
+	l.putView(rec.view)
+	l.putPieces(rec.pieces)
 	s.prof.Add(cat, l.rank.ID(), l.rank.Proc().Now()-t0)
 	return nil
 }

@@ -249,3 +249,58 @@ func TestTrafficStats(t *testing.T) {
 		t.Errorf("stats = %+v", s)
 	}
 }
+
+// TestLocalOpDoesNotOccupyNIC pins the fix for local window accesses
+// charging NIC serialization: a local Put squeezed between two remote Gets
+// must not shift the second Get's completion time. The reference schedule
+// replaces the local Put with a bare Advance of the same CPU cost
+// (MsgOverhead), which by construction cannot touch the NIC pipeline.
+func TestLocalOpDoesNotOccupyNIC(t *testing.T) {
+	net := netmodel.Default(2)
+	const n = 1 << 16 // large enough that serialization time is visible
+
+	run := func(localPutBetween bool) sim.Time {
+		var flushed sim.Time
+		harness(t, 2, net, func(r *Rank) {
+			w := winFor(r)
+			if r.ID() == 0 {
+				buf := make([]byte, n)
+				w.Get(r, 1, 0, buf)
+				if localPutBetween {
+					w.Put(r, buf, 0, 0) // local: must be NIC-free
+				} else {
+					r.Proc().Advance(net.MsgOverhead) // same CPU cost, no op
+				}
+				w.Get(r, 1, 0, buf)
+				r.Flush()
+				flushed = r.Proc().Now()
+			}
+			r.Barrier()
+		})
+		return flushed
+	}
+
+	with := run(true)
+	without := run(false)
+	if with != without {
+		t.Errorf("second Get completed at %d with a local Put in between, %d without", with, without)
+	}
+}
+
+// TestLocalOpCompletesAtIssueTime checks that a lone local Put is complete
+// the moment issue returns: the subsequent Flush must not advance the clock.
+func TestLocalOpCompletesAtIssueTime(t *testing.T) {
+	net := netmodel.Default(2)
+	harness(t, 2, net, func(r *Rank) {
+		w := winFor(r)
+		if r.ID() == 0 {
+			w.Put(r, make([]byte, 1<<16), 0, 0)
+			before := r.Proc().Now()
+			r.Flush()
+			if after := r.Proc().Now(); after != before {
+				t.Errorf("Flush advanced the clock %d -> %d after a purely local Put", before, after)
+			}
+		}
+		r.Barrier()
+	})
+}

@@ -2,18 +2,42 @@
 //
 // The kernel drives a set of simulated processes (one goroutine each) under
 // a single virtual clock. Exactly one process executes at any instant: the
-// engine and the processes hand control back and forth over unbuffered
-// channels, so all engine and process state is accessed by at most one
-// goroutine at a time and no locking is required. Given identical inputs,
-// a simulation is bit-reproducible.
+// engine's dispatch loop is a baton that migrates between goroutines, so
+// all engine and process state is accessed by at most one goroutine at a
+// time and no locking is required. Given identical inputs, a simulation is
+// bit-reproducible.
 //
 // Time is measured in integer nanoseconds of virtual time. Ties between
 // events scheduled for the same instant are broken by scheduling order
 // (FIFO), which keeps runs deterministic.
+//
+// # Host performance
+//
+// The single-goroutine-at-a-time invariant is also the kernel's fast-path
+// licence: whichever goroutine currently runs owns every piece of engine
+// state outright, so it may mutate the clock and the event queue directly
+// instead of asking an engine goroutine to do it. Three consequences:
+//
+//   - Zero-handoff Advance: when no queued event fires at or before now+d,
+//     Advance(d) simply sets now += d and returns — no channel operation,
+//     no event-queue traffic. This is the overwhelmingly common case for
+//     the per-operation costs (MsgOverhead, serialization, flush waits)
+//     that the RMA and scheduler layers charge.
+//   - Coalesced handoffs: when Advance or Park must interleave with queued
+//     events, the yielding process runs the dispatch loop inline. Callbacks
+//     fire on the spot, and if the next event resumes the very process that
+//     yielded, it just keeps running — a handoff costs a channel round-trip
+//     only when control genuinely moves to a different process.
+//   - Pooled events: the queue is a concrete 4-ary min-heap over event
+//     values (no container/heap interface boxing, no per-event pointer), so
+//     steady-state dispatch performs zero heap allocations per event.
+//
+// None of this changes simulated timestamps: the fast paths are taken only
+// when the slow path would produce the identical schedule, and the golden
+// digest tests in internal/bench pin that equivalence down.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -30,39 +54,22 @@ const (
 	Second      Time = 1000 * Millisecond
 )
 
+// event is one queue entry, stored by value: either a process resume
+// (proc != nil) or an engine-context callback (fire != nil).
 type event struct {
 	at   Time
 	seq  uint64
+	proc *Proc
 	fire func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
 }
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; create engines with NewEngine.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	queue   []event // 4-ary min-heap ordered by (at, seq)
 	seq     uint64
-	yield   chan struct{} // a process signals the engine here when it parks or exits
+	root    chan struct{} // dispatch returns the baton to Run when the queue drains
 	live    map[*Proc]struct{}
 	parked  map[*Proc]struct{}
 	current *Proc
@@ -72,7 +79,7 @@ type Engine struct {
 // events.
 func NewEngine() *Engine {
 	return &Engine{
-		yield:  make(chan struct{}),
+		root:   make(chan struct{}),
 		live:   make(map[*Proc]struct{}),
 		parked: make(map[*Proc]struct{}),
 	}
@@ -81,6 +88,61 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// eventLess orders the heap by deadline, then by scheduling order (FIFO
+// within an instant).
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts ev into the 4-ary heap.
+func (e *Engine) push(ev event) {
+	q := append(e.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(&q[i], &q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	e.queue = q
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // drop the proc/closure reference for GC
+	q = q[:n]
+	e.queue = q
+	i := 0
+	for {
+		min := i
+		base := 4*i + 1
+		end := base + 4
+		if end > n {
+			end = n
+		}
+		for c := base; c < end; c++ {
+			if eventLess(&q[c], &q[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
+}
+
 // At schedules fn to run in engine context at time t. fn must not block;
 // it runs between process executions. Scheduling in the past is an error.
 func (e *Engine) At(t Time, fn func()) {
@@ -88,11 +150,17 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fire: fn})
+	e.push(event{at: t, seq: e.seq, fire: fn})
 }
 
 // After schedules fn to run in engine context after duration d.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// scheduleResume queues a resume of p at time t.
+func (e *Engine) scheduleResume(p *Proc, t Time) {
+	e.seq++
+	e.push(event{at: t, seq: e.seq, proc: p})
+}
 
 // Spawn creates a new simulated process that will begin executing fn at the
 // current virtual time (after already-queued events for this instant).
@@ -102,35 +170,85 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 		Name:   name,
 		eng:    e,
 		resume: make(chan struct{}),
+		body:   fn,
 	}
 	e.live[p] = struct{}{}
-	e.After(0, func() {
-		go func() {
-			<-p.resume
-			// The yield is deferred so that a process body terminated by
-			// runtime.Goexit (e.g. t.Fatal in tests) still returns control
-			// to the engine instead of deadlocking the host.
-			defer func() {
-				p.dead = true
-				e.yield <- struct{}{}
-			}()
-			fn(p)
-		}()
-		e.runProc(p)
-	})
+	e.scheduleResume(p, e.now)
 	return p
 }
 
-// runProc transfers control to p and waits until p parks or exits.
-func (e *Engine) runProc(p *Proc) {
-	prev := e.current
-	e.current = p
-	p.resume <- struct{}{}
-	<-e.yield
-	e.current = prev
-	if p.dead {
-		delete(e.live, p)
-		delete(e.parked, p)
+// transfer hands the baton to q, starting its goroutine on first resume.
+// The caller must not touch engine state after transfer returns until it is
+// itself resumed (it blocks on its own resume channel, blocks on e.root, or
+// exits).
+func (e *Engine) transfer(q *Proc) {
+	e.current = q
+	if !q.started {
+		q.started = true
+		go q.run()
+		return
+	}
+	q.resume <- struct{}{}
+}
+
+// run is a process goroutine's top-level frame. The exit handling is
+// deferred so that a body terminated by runtime.Goexit (e.g. t.Fatal in
+// tests) still passes the baton on instead of deadlocking the host.
+func (p *Proc) run() {
+	defer p.exit()
+	p.body(p)
+}
+
+// exit retires the process and passes the baton to the next event (or back
+// to Run if the queue has drained).
+func (p *Proc) exit() {
+	e := p.eng
+	p.dead = true
+	delete(e.live, p)
+	delete(e.parked, p)
+	e.dispatch(nil)
+}
+
+// dispatch runs the event loop while this goroutine holds the baton. It
+// pops events and fires engine-context callbacks inline until either
+//
+//   - it pops a resume for self: it returns with the baton still held, so
+//     the caller simply continues running (no channel traffic at all), or
+//   - it pops a resume for another process: it hands the baton over and,
+//     when self expects to run again later, blocks until resumed, or
+//   - the queue drains: it returns the baton to Run (deadlock detection
+//     happens there).
+//
+// self is nil when the caller will never run again (process exit).
+func (e *Engine) dispatch(self *Proc) {
+	for {
+		if len(e.queue) == 0 {
+			e.current = nil
+			e.root <- struct{}{}
+			if self != nil {
+				// Parked forever: Run has already reported the deadlock;
+				// this goroutine can only leak, exactly as a process blocked
+				// on a channel the simulation never sends on would.
+				<-self.resume
+			}
+			return
+		}
+		ev := e.pop()
+		e.now = ev.at
+		if ev.proc == nil {
+			e.current = nil
+			ev.fire()
+			continue
+		}
+		if ev.proc == self {
+			e.current = self
+			return
+		}
+		e.transfer(ev.proc)
+		if self != nil {
+			<-self.resume
+		}
+		return
 	}
 }
 
@@ -154,9 +272,17 @@ func (d *DeadlockError) Error() string {
 // nil otherwise.
 func (e *Engine) Run() error {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.pop()
 		e.now = ev.at
-		ev.fire()
+		if ev.proc == nil {
+			e.current = nil
+			ev.fire()
+			continue
+		}
+		e.transfer(ev.proc)
+		// The baton comes back only when the queue has drained; processes
+		// hand off among themselves in the meantime.
+		<-e.root
 	}
 	if len(e.live) > 0 {
 		var names []string
@@ -182,6 +308,8 @@ type Proc struct {
 
 	eng     *Engine
 	resume  chan struct{}
+	body    func(*Proc)
+	started bool
 	dead    bool
 	parked  bool
 	permits int
@@ -197,13 +325,25 @@ func (p *Proc) Now() Time { return p.eng.now }
 // local computation or fixed-cost operations. Advance(0) yields without
 // advancing the clock, letting same-instant events interleave
 // deterministically.
+//
+// When no queued event fires at or before now+d, Advance takes the
+// zero-handoff fast path: the process would be resumed next in any case, so
+// the clock is bumped directly and control never leaves this goroutine. An
+// event scheduled at exactly now+d forces the slow path — it carries an
+// earlier sequence number than the resume this Advance would enqueue, so
+// FIFO tie-breaking says it must run first. Advance(0) always takes the
+// slow path: its purpose is to interleave same-instant events.
 func (p *Proc) Advance(d Time) {
 	if d < 0 {
 		panic("sim: negative Advance")
 	}
 	e := p.eng
-	e.After(d, func() { e.runProc(p) })
-	p.yield()
+	if d > 0 && (len(e.queue) == 0 || e.queue[0].at > e.now+d) {
+		e.now += d
+		return
+	}
+	e.scheduleResume(p, e.now+d)
+	e.dispatch(p)
 }
 
 // Park suspends the process until another process (or engine callback)
@@ -216,7 +356,7 @@ func (p *Proc) Park() {
 	}
 	p.parked = true
 	p.eng.parked[p] = struct{}{}
-	p.yield()
+	p.eng.dispatch(p)
 }
 
 // Wake unparks p at the current virtual time. If p is not parked, a permit
@@ -227,15 +367,8 @@ func (p *Proc) Wake() {
 	if p.parked {
 		p.parked = false
 		delete(e.parked, p)
-		e.After(0, func() { e.runProc(p) })
+		e.scheduleResume(p, e.now)
 		return
 	}
 	p.permits++
-}
-
-// yield returns control to the engine and blocks until the engine resumes
-// this process.
-func (p *Proc) yield() {
-	p.eng.yield <- struct{}{}
-	<-p.resume
 }

@@ -285,6 +285,10 @@ func (w *Worker) schedLoop() {
 		if d < 1 {
 			d = 1
 		}
+		// This Advance is the hottest line in most runs (every idle worker,
+		// every backoff iteration). It almost always hits the kernel's
+		// zero-handoff fast path: no queued event is due before now+d, so
+		// the clock bumps in place with no heap or channel traffic.
 		w.proc.Advance(d)
 		if backoff < backoffMax {
 			backoff *= 2
