@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench hostperf
+.PHONY: check fmt vet build test race golden bench hostperf
 
-check: fmt vet build test race
+check: fmt vet build test race golden
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -25,6 +25,12 @@ test:
 
 race:
 	$(GO) test -race ./internal/sim ./internal/rma
+
+# Determinism gate: the golden digest must be bit-identical run-to-run
+# with tracing ON, and the trace->dump->analyze pipeline must hold up on
+# a 16-rank run. -count=1 defeats the test cache so CI really re-runs it.
+golden:
+	$(GO) test -count=1 -run 'KernelDeterminismGolden|CilksortTraceReport|MetricsRunStable' ./internal/bench
 
 # Host-side kernel throughput (not part of check: timing-sensitive).
 bench:

@@ -11,6 +11,7 @@ import (
 
 	"ityr"
 	"ityr/internal/apps/cilksort"
+	"ityr/internal/obs"
 )
 
 func parsePolicy(s string) (ityr.Policy, error) {
@@ -37,6 +38,7 @@ func main() {
 	verify := flag.Bool("verify", true, "verify sortedness and checksum")
 	profile := flag.Bool("profile", false, "print the profiler breakdown")
 	traceFile := flag.String("tracefile", "", "write a Chrome-tracing JSON event log to this file")
+	traceDump, metricsFile := obs.Flags()
 	flag.Parse()
 
 	pol, err := parsePolicy(*policy)
@@ -49,7 +51,7 @@ func main() {
 		CoresPerNode: *cores,
 		Pgas:         ityr.PgasConfig{Policy: pol},
 		Seed:         *seed,
-		Trace:        *traceFile != "",
+		Trace:        *traceFile != "" || *traceDump != "",
 	}
 	rt := ityr.NewRuntime(cfg)
 	var sortTime ityr.Time
@@ -113,5 +115,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  trace          %d events -> %s\n", rt.Trace().Len(), *traceFile)
+	}
+	if err := obs.Write(rt, *traceDump, *metricsFile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"ityr/internal/apps/fmm"
 	"ityr/internal/apps/fmmmpi"
 	"ityr/internal/netmodel"
+	"ityr/internal/obs"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	dist := flag.String("dist", "cube", "particle distribution: cube|sphere|plummer")
 	verify := flag.Bool("verify", false, "verify against direct summation (O(N²) on the host)")
 	mpi := flag.Bool("mpi", false, "also run the static MPI baseline model")
+	traceDump, metricsFile := obs.Flags()
 	flag.Parse()
 
 	var pol ityr.Policy
@@ -60,8 +62,9 @@ func main() {
 
 	rt := ityr.NewRuntime(ityr.Config{
 		Ranks: *ranks, CoresPerNode: *cores,
-		Pgas: ityr.PgasConfig{Policy: pol},
-		Seed: *seed,
+		Pgas:  ityr.PgasConfig{Policy: pol},
+		Seed:  *seed,
+		Trace: *traceDump != "",
 	})
 	var evalTime ityr.Time
 	var result []fmm.Body
@@ -111,5 +114,9 @@ func main() {
 		r := fmmmpi.Run(p, nodes, *cores, netmodel.Default(*cores))
 		fmt.Printf("  MPI model  %.3f ms on %d nodes (idleness %.2f)\n",
 			float64(r.Elapsed)/1e6, nodes, r.Idleness)
+	}
+	if err := obs.Write(rt, *traceDump, *metricsFile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

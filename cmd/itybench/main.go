@@ -30,6 +30,7 @@ func main() {
 	env := flag.Bool("env", false, "print the simulated environment (Table 1) and exit")
 	hostperf := flag.String("hostperf", "", "run host-perf microbenchmarks and write JSON report to this file ('-' for stdout)")
 	count := flag.Int("count", 3, "with -hostperf: runs per benchmark (best is kept)")
+	metricsFile := flag.String("metrics", "", "run the canonical cilksort config and write its runtime-metrics JSON snapshot to this file ('-' for stdout)")
 	flag.Parse()
 
 	if *hostperf != "" {
@@ -71,6 +72,24 @@ func main() {
 
 	if *env {
 		bench.Table1(os.Stdout, sc)
+		return
+	}
+
+	if *metricsFile != "" {
+		out := os.Stdout
+		if *metricsFile != "-" {
+			f, err := os.Create(*metricsFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := bench.MetricsRun(out, sc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -1,0 +1,99 @@
+// Command itytrace analyzes an "itytrace/v1" dump produced by the
+// example binaries' -trace flag (or core.Runtime.WriteTrace). The
+// default report shows critical-path vs. total work (the available
+// parallelism, as in Cilkview), a per-rank busy/idle/steal breakdown,
+// the steal-latency histogram, and the cache hit rate for the run's
+// policy from the embedded metrics snapshot.
+//
+//	cilksort -ranks 16 -trace cilksort.trace
+//	itytrace cilksort.trace
+//	itytrace -chrome timeline.json cilksort.trace   # re-export for Perfetto
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ityr/internal/trace"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "itytrace:", err)
+	os.Exit(1)
+}
+
+func main() {
+	chrome := flag.String("chrome", "", "also re-export the events as Chrome tracing JSON (load in Perfetto) to this file")
+	metricsOut := flag.String("metrics", "", "also extract the embedded metrics snapshot to this file ('-' for stdout)")
+	events := flag.Bool("events", false, "print the raw event stream instead of the report")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: itytrace [flags] DUMP\nanalyzes an itytrace/v1 dump written by -trace\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	l, meta, err := trace.ReadDump(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	if *events {
+		l.Dump(os.Stdout)
+		return
+	}
+
+	fmt.Printf("trace %s: %d events, %d ranks", flag.Arg(0), l.Len(), meta.Ranks)
+	if meta.Policy != "" {
+		fmt.Printf(", policy %s", meta.Policy)
+	}
+	fmt.Println()
+	fmt.Println()
+
+	a := trace.Analyze(l, meta.Ranks)
+	a.WriteReport(os.Stdout)
+	if err := trace.CacheReport(os.Stdout, meta.Policy, meta.Metrics); err != nil {
+		fail(err)
+	}
+
+	if *chrome != "" {
+		cf, err := os.Create(*chrome)
+		if err != nil {
+			fail(err)
+		}
+		werr := l.ChromeJSON(cf)
+		if cerr := cf.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fail(werr)
+		}
+		fmt.Printf("\nchrome trace -> %s (open in https://ui.perfetto.dev)\n", *chrome)
+	}
+	if *metricsOut != "" {
+		w := os.Stdout
+		if *metricsOut != "-" {
+			mf, err := os.Create(*metricsOut)
+			if err != nil {
+				fail(err)
+			}
+			defer mf.Close()
+			w = mf
+		}
+		if len(meta.Metrics) == 0 {
+			fail(fmt.Errorf("dump carries no metrics snapshot"))
+		}
+		if _, err := w.Write(append(meta.Metrics, '\n')); err != nil {
+			fail(err)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"ityr"
 	"ityr/internal/apps/uts"
+	"ityr/internal/obs"
 )
 
 func main() {
@@ -20,6 +21,7 @@ func main() {
 	policy := flag.String("policy", "lazy", "cache policy: nocache|wt|wb|lazy")
 	seed := flag.Int64("seed", 1, "scheduler seed")
 	classic := flag.Bool("classic", false, "run the original memory-free UTS instead of UTS-Mem")
+	traceDump, metricsFile := obs.Flags()
 	flag.Parse()
 
 	var tree uts.Tree
@@ -49,8 +51,9 @@ func main() {
 
 	rt := ityr.NewRuntime(ityr.Config{
 		Ranks: *ranks, CoresPerNode: *cores,
-		Pgas: ityr.PgasConfig{Policy: pol},
-		Seed: *seed,
+		Pgas:  ityr.PgasConfig{Policy: pol},
+		Seed:  *seed,
+		Trace: *traceDump != "",
 	})
 	var buildTime, travTime ityr.Time
 	var built, counted int64
@@ -90,6 +93,10 @@ func main() {
 		100*float64(rt.Space().Stats.HitBytes)/float64(rt.Space().Stats.HitBytes+rt.Space().Stats.FetchBytes+1))
 	if counted != built {
 		fmt.Fprintf(os.Stderr, "MISMATCH: built %d, traversed %d\n", built, counted)
+		os.Exit(1)
+	}
+	if err := obs.Write(rt, *traceDump, *metricsFile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }

@@ -160,6 +160,15 @@ func CilksortRun(n, cutoff int64, ranks, coresPerNode int, pol ityr.Policy, seed
 	return elapsed, rt
 }
 
+// MetricsRun runs the canonical Fig. 7 cilksort configuration (the lazy
+// write-back policy on the scale's fixed rank count) and writes the
+// run's "itoyori-metrics/v1" snapshot — the machine-readable runtime
+// counters that accompany the BENCH_sim.json host-perf report.
+func MetricsRun(w io.Writer, sc Scale) error {
+	_, rt := CilksortRun(sc.CilksortN, sc.SortCutoff, sc.FixedRanks, sc.CoresPerNode, ityr.WriteBackLazy, 11)
+	return rt.WriteMetrics(w)
+}
+
 // Fig7 regenerates Figure 7: Cilksort execution time across task cutoffs
 // for the four cache policies on a fixed rank count.
 func Fig7(w io.Writer, sc Scale) []Row {

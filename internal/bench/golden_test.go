@@ -61,7 +61,7 @@ func kernelDigest(t *testing.T, sc Scale, pol ityr.Policy) string {
 		fmt.Fprintf(h, "prof %s=%d\n", k, bd[k])
 	}
 	for _, ev := range rt.Trace().Events() {
-		fmt.Fprintf(h, "ev %d %d %d %d\n", ev.T, ev.Rank, ev.Kind, ev.Arg)
+		fmt.Fprintf(h, "ev %d %d %d %d %d %d\n", ev.T, ev.Dur, ev.Rank, ev.Kind, ev.Arg, ev.Arg2)
 	}
 	fmt.Fprintf(h, "final=%d elapsed=%d\n", rt.Engine().Now(), elapsed)
 	return fmt.Sprintf("elapsed=%d final=%d events=%d fnv=%016x",

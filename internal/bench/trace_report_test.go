@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ityr"
+	"ityr/internal/apps/cilksort"
+	"ityr/internal/trace"
+)
+
+// TestCilksortTraceReport is the end-to-end check on the observability
+// pipeline: run cilksort on 16 ranks with tracing on, serialize the
+// itytrace/v1 dump exactly as the -trace flag does, read it back, and
+// require the analysis to produce the numbers cmd/itytrace reports —
+// a positive critical path bounded by the work, a busy/steal/idle
+// decomposition for all 16 ranks, and a steal-latency histogram whose
+// population matches the scheduler's steal count.
+func TestCilksortTraceReport(t *testing.T) {
+	const nranks = 16
+	cfg := runtimeConfig(nranks, 8, ityr.WriteBackLazy, 7)
+	cfg.Trace = true
+	rt := ityr.NewRuntime(cfg)
+	n, cutoff := int64(1<<15), int64(1024)
+	err := rt.Run(func(s *ityr.SPMD) {
+		var a, b ityr.GSpan[cilksort.Elem]
+		if s.Rank() == 0 {
+			a = ityr.AllocArraySPMD[cilksort.Elem](s, n, ityr.BlockCyclicDist)
+			b = ityr.AllocArraySPMD[cilksort.Elem](s, n, ityr.BlockCyclicDist)
+		}
+		s.Barrier()
+		s.RootExec(func(c *ityr.Ctx) {
+			cilksort.Generate(c, a, 7)
+			cilksort.Sort(c, a, b, cutoff)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := rt.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	l, meta, err := trace.ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Ranks != nranks {
+		t.Errorf("meta.Ranks = %d, want %d", meta.Ranks, nranks)
+	}
+	if len(meta.Metrics) == 0 {
+		t.Error("dump carries no embedded metrics snapshot")
+	}
+
+	a := trace.Analyze(l, meta.Ranks)
+	if a.CritPath <= 0 {
+		t.Fatalf("critical path = %d, want > 0", a.CritPath)
+	}
+	if a.Work < a.CritPath {
+		t.Errorf("work %d < critical path %d", a.Work, a.CritPath)
+	}
+	if a.Parallelism <= 1 {
+		t.Errorf("parallelism = %.2f, want > 1 for a 16-rank sort", a.Parallelism)
+	}
+	if a.LiveTasks != 0 {
+		t.Errorf("LiveTasks = %d: unbounded trace should close every task", a.LiveTasks)
+	}
+	if len(a.Ranks) != nranks {
+		t.Fatalf("len(Ranks) = %d, want %d", len(a.Ranks), nranks)
+	}
+	busyRanks := 0
+	for _, r := range a.Ranks {
+		if tot := r.Busy + r.Steal + r.Idle; tot > a.Elapsed {
+			t.Errorf("rank %d: busy+steal+idle %d exceeds elapsed %d", r.Rank, tot, a.Elapsed)
+		}
+		if r.Busy > 0 {
+			busyRanks++
+		}
+	}
+	if busyRanks < 2 {
+		t.Errorf("only %d ranks show busy time; work stealing did not spread", busyRanks)
+	}
+	if got, want := a.Steals, rt.Sched().Stats.Steals; got != int(want) {
+		t.Errorf("analysis counts %d steals, scheduler counted %d", got, want)
+	}
+	if a.StealLatency.Count != uint64(a.Steals) {
+		t.Errorf("steal-latency histogram has %d samples for %d steals", a.StealLatency.Count, a.Steals)
+	}
+
+	var rep strings.Builder
+	a.WriteReport(&rep)
+	if err := trace.CacheReport(&rep, meta.Policy, meta.Metrics); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"critical path", "parallelism", "steal latency", "hit rate"} {
+		if !strings.Contains(rep.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, rep.String())
+		}
+	}
+}
+
+// TestMetricsRunStable pins the promise made by `itybench -metrics`: the
+// snapshot is deterministic, so two identical runs emit byte-identical
+// JSON (stable key order included) that downstream diffing can rely on.
+func TestMetricsRunStable(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := MetricsRun(&a, Smoke); err != nil {
+		t.Fatal(err)
+	}
+	if err := MetricsRun(&b, Smoke); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("metrics snapshots differ between identical runs")
+	}
+	if !strings.Contains(a.String(), `"schema": "itoyori-metrics/v1"`) {
+		t.Errorf("snapshot missing schema marker:\n%.400s", a.String())
+	}
+}

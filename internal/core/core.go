@@ -9,8 +9,11 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 
+	"ityr/internal/metrics"
 	"ityr/internal/netmodel"
 	"ityr/internal/pgas"
 	"ityr/internal/prof"
@@ -34,9 +37,13 @@ type Config struct {
 	Sched uth.Config
 	// Seed seeds schedule randomness; same seed ⇒ identical run.
 	Seed int64
-	// Trace enables event tracing (Runtime.Trace): scheduler actions,
-	// fences and cache events with virtual timestamps.
+	// Trace enables event tracing (Runtime.Trace): task segments and
+	// fork/join edges, steal and fence spans, and cache events with
+	// virtual timestamps.
 	Trace bool
+	// TraceRing bounds the trace to the most recent TraceRing events per
+	// rank (ring buffer); 0 keeps everything.
+	TraceRing int
 	// Overlap enables communication-computation overlap (§8 future work):
 	// while a checkout's remote fetch is in flight, the rank runs other
 	// ready tasks instead of stalling.
@@ -59,13 +66,14 @@ func (c Config) withDefaults() Config {
 // Runtime is one simulated Itoyori instance: engine, interconnect, global
 // address space and scheduler.
 type Runtime struct {
-	cfg   Config
-	eng   *sim.Engine
-	comm  *rma.Comm
-	space *pgas.Space
-	sched *uth.Sched
-	prof  *prof.Profiler
-	trace *trace.Log
+	cfg     Config
+	eng     *sim.Engine
+	comm    *rma.Comm
+	space   *pgas.Space
+	sched   *uth.Sched
+	prof    *prof.Profiler
+	trace   *trace.Log
+	metrics *metrics.Registry
 }
 
 // NewRuntime builds a runtime from cfg.
@@ -82,10 +90,21 @@ func NewRuntime(cfg Config) *Runtime {
 	space := pgas.New(comm, cfg.Pgas, pr)
 	var tl *trace.Log
 	if cfg.Trace {
-		tl = trace.New()
+		tl = trace.NewRing(cfg.TraceRing)
+		tl.CoresPerNode = cfg.CoresPerNode
 		space.TraceLog = tl
 	}
+	reg := metrics.NewRegistry()
+	reg.Label("policy", space.Policy().String())
+	reg.Gauge("ranks").Set(int64(cfg.Ranks))
+	reg.Gauge("cores_per_node").Set(int64(cfg.CoresPerNode))
+	space.MetricAcquireNs = reg.Histogram("pgas_acquire_ns", metrics.ExpBuckets(250, 2, 16))
+	space.MetricReleaseNs = reg.Histogram("pgas_release_ns", metrics.ExpBuckets(250, 2, 16))
+	space.MetricCheckoutBytes = reg.Histogram("pgas_checkout_bytes", metrics.ExpBuckets(64, 4, 12))
 	sched := uth.NewSched(comm, cfg.Sched, hooks{space: space, trace: tl, eng: eng})
+	sched.SetTrace(tl)
+	sched.StealLatency = reg.Histogram("uth_steal_latency_ns", trace.StealLatencyBounds)
+	sched.FailedStealLatency = reg.Histogram("uth_failed_steal_latency_ns", trace.StealLatencyBounds)
 	if cfg.Overlap {
 		space.CommWait = func(l *pgas.Local) {
 			until := l.Rank().PendingTime()
@@ -94,46 +113,133 @@ func NewRuntime(cfg Config) *Runtime {
 			}
 		}
 	}
-	return &Runtime{cfg: cfg, eng: eng, comm: comm, space: space, sched: sched, prof: pr, trace: tl}
+	return &Runtime{cfg: cfg, eng: eng, comm: comm, space: space, sched: sched, prof: pr, trace: tl, metrics: reg}
 }
 
 // Trace returns the event log (nil unless Config.Trace was set).
 func (rt *Runtime) Trace() *trace.Log { return rt.trace }
 
+// Metrics returns the runtime's metrics registry (always present).
+func (rt *Runtime) Metrics() *metrics.Registry { return rt.metrics }
+
+// MetricsSnapshot mirrors every layer's statistics into the registry and
+// returns the combined snapshot ("itoyori-metrics/v1"). The live
+// histograms (steal latency, fence costs, checkout sizes) are already in
+// the registry; the counters below copy the layers' cheap accumulator
+// structs so the hot paths never pay a map lookup.
+func (rt *Runtime) MetricsSnapshot() metrics.Snapshot {
+	reg := rt.metrics
+
+	es := rt.eng.Stats()
+	reg.Counter("sim_events_dispatched").Set(es.Events)
+	reg.Counter("sim_fast_advances").Set(es.FastAdvances)
+	reg.Counter("sim_handoffs").Set(es.Handoffs)
+	reg.Counter("sim_callbacks").Set(es.Callbacks)
+	reg.Counter("sim_spawns").Set(es.Spawns)
+
+	cs := rt.comm.Stats()
+	reg.Counter("rma_get_ops").Set(cs.GetOps)
+	reg.Counter("rma_put_ops").Set(cs.PutOps)
+	reg.Counter("rma_atomic_ops").Set(cs.AtomicOps)
+	reg.Counter("rma_get_bytes").Set(cs.GetBytes)
+	reg.Counter("rma_put_bytes").Set(cs.PutBytes)
+	reg.Counter("rma_flush_waits").Set(cs.FlushWaits)
+	reg.Counter("rma_barriers").Set(cs.Barriers)
+
+	ps := rt.space.Stats
+	reg.Counter("pgas_checkout_calls").Set(ps.CheckoutCalls)
+	reg.Counter("pgas_checkin_calls").Set(ps.CheckinCalls)
+	reg.Counter("pgas_fetch_ops").Set(ps.FetchOps)
+	reg.Counter("pgas_fetch_bytes").Set(ps.FetchBytes)
+	reg.Counter("pgas_hit_bytes").Set(ps.HitBytes)
+	reg.Counter("pgas_writeback_ops").Set(ps.WriteBackOps)
+	reg.Counter("pgas_writeback_bytes").Set(ps.WriteBackBytes)
+	reg.Counter("pgas_invalidations").Set(ps.Invalidations)
+	reg.Counter("pgas_mmaps").Set(ps.Mmaps)
+	reg.Counter("pgas_evictions").Set(ps.Evictions)
+	reg.Counter("pgas_lazy_releases").Set(ps.LazyReleases)
+
+	us := rt.sched.Stats
+	reg.Counter("uth_forks").Set(us.Forks)
+	reg.Counter("uth_steals").Set(us.Steals)
+	reg.Counter("uth_intra_steals").Set(us.IntraSteals)
+	reg.Counter("uth_failed_steals").Set(us.FailedSteals)
+	reg.Counter("uth_comm_waits").Set(us.CommWaits)
+	reg.Counter("uth_migrations").Set(us.Migrations)
+
+	return reg.Snapshot()
+}
+
+// WriteMetrics writes the metrics snapshot as indented JSON.
+func (rt *Runtime) WriteMetrics(w io.Writer) error {
+	return rt.MetricsSnapshot().WriteJSON(w)
+}
+
+// WriteTrace serializes the trace as an "itytrace/v1" dump for
+// cmd/itytrace, embedding the run's metrics snapshot in the metadata. It
+// fails when tracing was not enabled.
+func (rt *Runtime) WriteTrace(w io.Writer) error {
+	if rt.trace == nil {
+		return fmt.Errorf("core: tracing was not enabled (Config.Trace)")
+	}
+	snap, err := json.Marshal(rt.MetricsSnapshot())
+	if err != nil {
+		return err
+	}
+	return rt.trace.WriteDump(w, trace.Meta{
+		Ranks:        rt.cfg.Ranks,
+		CoresPerNode: rt.cfg.CoresPerNode,
+		Policy:       rt.space.Policy().String(),
+		Metrics:      snap,
+	})
+}
+
 // hooks wires the scheduler's synchronization points to the cache
 // coherence fences (Fig. 5 placement, Fig. 6 lazy protocol) and, when
-// enabled, the event tracer.
+// enabled, the event tracer. Fork/steal/join edges themselves are
+// recorded by the scheduler (it knows the thread IDs); the hooks record
+// the fences as spans so fence cost is visible on the timeline.
 type hooks struct {
 	space *pgas.Space
 	trace *trace.Log
 	eng   *sim.Engine
 }
 
-func (h hooks) rec(rank int, k trace.Kind, arg int64) {
-	h.trace.Rec(h.eng.Now(), rank, k, arg)
+// span runs fn and records it as a [t0, now) span of the given kind.
+func (h hooks) span(rank int, k trace.Kind, arg int64, fn func()) {
+	if h.trace == nil {
+		fn()
+		return
+	}
+	t0 := h.eng.Now()
+	fn()
+	h.trace.RecSpan(t0, h.eng.Now()-t0, rank, k, arg, 0)
 }
 
 func (h hooks) Poll(rank int) { h.space.Local(rank).Poll() }
 func (h hooks) OnFork(rank int) any {
-	h.rec(rank, trace.KFork, 0)
 	return h.space.Local(rank).ReleaseLazy()
 }
 func (h hooks) OnSteal(rank int, handler any) {
 	hd, _ := handler.(pgas.ReleaseHandler)
-	h.rec(rank, trace.KSteal, int64(hd.Rank))
-	h.space.Local(rank).AcquireWith(hd)
+	h.span(rank, trace.KAcquire, int64(hd.Rank), func() {
+		h.space.Local(rank).AcquireWith(hd)
+	})
 }
 func (h hooks) OnSuspend(rank int) {
-	h.rec(rank, trace.KRelease, 0)
-	h.space.Local(rank).ReleaseFence()
+	h.span(rank, trace.KRelease, 0, func() {
+		h.space.Local(rank).ReleaseFence()
+	})
 }
 func (h hooks) OnChildStolenDone(rank int) {
-	h.rec(rank, trace.KRelease, 1)
-	h.space.Local(rank).ReleaseFence()
+	h.span(rank, trace.KRelease, 1, func() {
+		h.space.Local(rank).ReleaseFence()
+	})
 }
 func (h hooks) OnMigrateArrive(rank int) {
-	h.rec(rank, trace.KMigrate, 0)
-	h.space.Local(rank).AcquireFence()
+	h.span(rank, trace.KMigrate, 0, func() {
+		h.space.Local(rank).AcquireFence()
+	})
 }
 
 // Engine returns the simulation engine.

@@ -1,0 +1,323 @@
+// Package metrics is the runtime's metrics registry: named counters,
+// gauges and fixed-bucket histograms that the simulation layers (sim, rma,
+// pgas, uth, core) update as a run progresses, snapshotted into a stable
+// JSON document ("itoyori-metrics/v1") for tooling.
+//
+// Design constraints, in order:
+//
+//   - Determinism: metrics never touch simulated time. Observing a value is
+//     a pure host-side bookkeeping operation, so enabling or reading
+//     metrics cannot change a single simulated timestamp.
+//   - Near-zero overhead: a nil *Counter/*Gauge/*Histogram is valid and
+//     records nothing, so instrumentation sites need no enabled-checks, and
+//     a live update is an integer add (histograms: one short linear scan
+//     over the bucket bounds).
+//   - Stable output: Snapshot marshals to JSON with sorted keys (Go maps
+//     marshal in key order), so two identical runs produce byte-identical
+//     documents.
+//
+// The simulator is single-threaded by construction (exactly one simulated
+// goroutine runs at a time), so no atomics or locking are needed.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Schema identifies the snapshot document format.
+const Schema = "itoyori-metrics/v1"
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use; a nil Counter records nothing.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Set overwrites the value — used to mirror externally accumulated
+// statistics (e.g. rma.Stats) into the registry at snapshot time.
+func (c *Counter) Set(v uint64) {
+	if c != nil {
+		c.v = v
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time int64 value. A nil Gauge records nothing.
+type Gauge struct{ v int64 }
+
+// Set overwrites the value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket histogram over int64 observations (virtual
+// nanoseconds, bytes, ...). Bucket i counts observations v <= Bounds[i];
+// the final implicit bucket counts everything larger. A nil Histogram
+// records nothing.
+type Histogram struct {
+	bounds []int64
+	counts []uint64
+	sum    int64
+	n      uint64
+	min    int64
+	max    int64
+}
+
+// NewHistogram creates a histogram with the given strictly increasing
+// upper bounds. An implicit +Inf bucket is appended.
+func NewHistogram(bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not increasing at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Snap returns the histogram's snapshot form.
+func (h *Histogram) Snap() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Count:  h.n,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// first, each factor times the previous (rounded up to stay strictly
+// increasing).
+func ExpBuckets(first int64, factor float64, n int) []int64 {
+	if first < 1 || factor <= 1 || n < 1 {
+		panic("metrics: ExpBuckets needs first >= 1, factor > 1, n >= 1")
+	}
+	out := make([]int64, n)
+	v := float64(first)
+	for i := 0; i < n; i++ {
+		b := int64(v)
+		if i > 0 && b <= out[i-1] {
+			b = out[i-1] + 1
+		}
+		out[i] = b
+		v *= factor
+	}
+	return out
+}
+
+// Registry holds named metrics. Names are unique per kind lookup:
+// requesting an existing name returns the existing instrument; requesting
+// it as a different kind panics (a wiring bug).
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	labels   map[string]string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		labels:   make(map[string]string),
+	}
+}
+
+func (r *Registry) checkFresh(name string) {
+	if _, ok := r.counters[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered as a counter", name))
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered as a gauge", name))
+	}
+	if _, ok := r.hists[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered as a histogram", name))
+	}
+}
+
+// Counter returns the named counter, creating it if new.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkFresh(name)
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it if new.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkFresh(name)
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// if new (bounds are ignored for an existing histogram).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.checkFresh(name)
+	h := NewHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// Label sets a string label (run metadata: policy name, workload, ...).
+func (r *Registry) Label(name, value string) { r.labels[name] = value }
+
+// HistogramSnapshot is the serialized form of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has len(Bounds)+1 entries,
+	// the last counting observations above the final bound.
+	Bounds []int64  `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Sum    int64    `json:"sum"`
+	Min    int64    `json:"min"`
+	Max    int64    `json:"max"`
+}
+
+// Snapshot is the stable serialized form of a registry — the
+// "itoyori-metrics/v1" document.
+type Snapshot struct {
+	Schema     string                       `json:"schema"`
+	Labels     map[string]string            `json:"labels,omitempty"`
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Schema:     Schema,
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+		Labels:     make(map[string]string, len(r.labels)),
+	}
+	for k, v := range r.labels {
+		s.Labels[k] = v
+	}
+	for k, c := range r.counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range r.gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range r.hists {
+		s.Histograms[k] = h.Snap()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON. Map keys marshal sorted,
+// so the output is byte-stable for identical runs.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// SortedCounterNames returns the counter names in sorted order, for stable
+// text reports.
+func (s Snapshot) SortedCounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

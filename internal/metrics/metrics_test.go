@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	c.Set(7)
+	g.Set(3)
+	h.Observe(42)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatalf("nil instruments must read as zero")
+	}
+	if s := h.Snap(); s.Count != 0 || len(s.Bounds) != 0 {
+		t.Fatalf("nil histogram snapshot must be empty, got %+v", s)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Value())
+	}
+	c.Set(3)
+	if c.Value() != 3 {
+		t.Fatalf("counter after Set = %d, want 3", c.Value())
+	}
+	if r.Counter("x") != c {
+		t.Fatalf("re-registering a counter must return the same instance")
+	}
+	g := r.Gauge("y")
+	g.Set(-4)
+	if g.Value() != -4 {
+		t.Fatalf("gauge = %d, want -4", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 101, 1000, 1001, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snap()
+	want := []uint64{2, 2, 2, 2} // <=10, <=100, <=1000, >1000
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 8 || s.Min != 1 || s.Max != 5000 {
+		t.Fatalf("count/min/max = %d/%d/%d, want 8/1/5000", s.Count, s.Min, s.Max)
+	}
+	if h.Mean() != float64(s.Sum)/8 {
+		t.Fatalf("mean mismatch")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(500, 2, 5)
+	want := []int64{500, 1000, 2000, 4000, 8000}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+	// A factor close to 1 must still produce strictly increasing bounds.
+	b = ExpBuckets(1, 1.01, 10)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing: %v", b)
+		}
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic registering %q as a gauge after counter", "dup")
+		}
+	}()
+	r.Gauge("dup")
+}
+
+func TestSnapshotJSONStable(t *testing.T) {
+	mk := func() Snapshot {
+		r := NewRegistry()
+		r.Label("policy", "writeback")
+		r.Counter("b_ops").Add(2)
+		r.Counter("a_ops").Add(1)
+		r.Gauge("ranks").Set(16)
+		r.Histogram("lat", []int64{10, 20}).Observe(15)
+		return r.Snapshot()
+	}
+	var w1, w2 bytes.Buffer
+	if err := mk().WriteJSON(&w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk().WriteJSON(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if w1.String() != w2.String() {
+		t.Fatalf("snapshot JSON not byte-stable:\n%s\nvs\n%s", w1.String(), w2.String())
+	}
+	out := w1.String()
+	if !strings.Contains(out, `"schema": "itoyori-metrics/v1"`) {
+		t.Fatalf("missing schema marker in %s", out)
+	}
+	// Sorted keys: a_ops must appear before b_ops.
+	if strings.Index(out, "a_ops") > strings.Index(out, "b_ops") {
+		t.Fatalf("counters not sorted in JSON output:\n%s", out)
+	}
+	names := mk().SortedCounterNames()
+	if len(names) != 2 || names[0] != "a_ops" || names[1] != "b_ops" {
+		t.Fatalf("SortedCounterNames = %v", names)
+	}
+}

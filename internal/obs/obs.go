@@ -1,0 +1,58 @@
+// Package obs is the shared -trace/-metrics command-line plumbing for
+// the example binaries (cilksort, fmm, utsmem): each registers the two
+// flags, enables tracing in its Config when a trace dump was requested,
+// and calls Write after the run. Keeping this here means every command
+// emits the same file formats (itytrace/v1 and itoyori-metrics/v1) that
+// cmd/itytrace consumes.
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ityr/internal/core"
+)
+
+// Flags registers -trace and -metrics on the default flag set and
+// returns pointers to their values.
+func Flags() (traceFile, metricsFile *string) {
+	traceFile = flag.String("trace", "",
+		"write an itytrace/v1 dump (analyze with itytrace) to this file")
+	metricsFile = flag.String("metrics", "",
+		"write an itoyori-metrics/v1 JSON snapshot to this file ('-' for stdout)")
+	return traceFile, metricsFile
+}
+
+// Write emits the dump files requested by the flags. rt must have been
+// built with Config.Trace set when traceFile is nonempty.
+func Write(rt *core.Runtime, traceFile, metricsFile string) error {
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		werr := rt.WriteTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing trace %s: %w", traceFile, werr)
+		}
+	}
+	if metricsFile != "" {
+		w := os.Stdout
+		if metricsFile != "-" {
+			f, err := os.Create(metricsFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rt.WriteMetrics(w); err != nil {
+			return fmt.Errorf("writing metrics %s: %w", metricsFile, err)
+		}
+	}
+	return nil
+}

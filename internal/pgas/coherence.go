@@ -48,7 +48,9 @@ func (l *Local) writeBackAll(cat string) {
 		l.space.epochWin.StoreLocalUint64(l.rank, cur+1, offCurrentEpoch)
 		l.rank.Proc().Advance(costEpoch)
 	}
-	l.space.prof.AddName(cat, l.rank.ID(), l.rank.Proc().Now()-t0)
+	d := l.rank.Proc().Now() - t0
+	l.space.prof.AddName(cat, l.rank.ID(), d)
+	l.space.MetricReleaseNs.Observe(d)
 }
 
 // ReleaseFence executes an eager release fence (§4.4): all dirty data is
@@ -113,7 +115,9 @@ func (l *Local) AcquireWith(h ReleaseHandler) {
 		}
 	}
 	l.invalidateAll()
-	s.prof.AddName(prof.CatAcquire, l.rank.ID(), l.rank.Proc().Now()-t0)
+	d := l.rank.Proc().Now() - t0
+	s.prof.AddName(prof.CatAcquire, l.rank.ID(), d)
+	s.MetricAcquireNs.Observe(d)
 }
 
 // AcquireFence executes a plain acquire fence: self-invalidate the cache so
@@ -122,7 +126,9 @@ func (l *Local) AcquireWith(h ReleaseHandler) {
 func (l *Local) AcquireFence() {
 	t0 := l.rank.Proc().Now()
 	l.invalidateAll()
-	l.space.prof.AddName(prof.CatAcquire, l.rank.ID(), l.rank.Proc().Now()-t0)
+	d := l.rank.Proc().Now() - t0
+	l.space.prof.AddName(prof.CatAcquire, l.rank.ID(), d)
+	l.space.MetricAcquireNs.Observe(d)
 }
 
 func (l *Local) invalidateAll() {

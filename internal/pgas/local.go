@@ -167,7 +167,10 @@ func (l *Local) Checkout(addr Addr, size uint64, mode Mode) ([]byte, error) {
 			}
 		}
 		l.outstanding = append(l.outstanding, checkoutRec{addr: addr, size: size, mode: mode, view: view})
-		s.prof.Add(cat, l.rank.ID(), l.rank.Proc().Now()-t0)
+		d := l.rank.Proc().Now() - t0
+		s.prof.Add(cat, l.rank.ID(), d)
+		s.MetricCheckoutBytes.Observe(int64(size))
+		s.TraceLog.RecSpan(t0, d, l.rank.ID(), trace.KCheckout, int64(size), 0)
 		return view, nil
 	}
 
@@ -292,7 +295,10 @@ func (l *Local) Checkout(addr Addr, size uint64, mode Mode) ([]byte, error) {
 	}
 	rec.view = view
 	l.outstanding = append(l.outstanding, rec)
-	s.prof.Add(cat, l.rank.ID(), l.rank.Proc().Now()-t0)
+	d := l.rank.Proc().Now() - t0
+	s.prof.Add(cat, l.rank.ID(), d)
+	s.MetricCheckoutBytes.Observe(int64(size))
+	s.TraceLog.RecSpan(t0, d, me, trace.KCheckout, int64(size), 0)
 	return view, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ityr/internal/memblock"
+	"ityr/internal/metrics"
 	"ityr/internal/prof"
 	"ityr/internal/rma"
 	"ityr/internal/sim"
@@ -74,6 +75,14 @@ type Space struct {
 	// TraceLog, when non-nil, receives cache events (misses, write-backs,
 	// evictions) with virtual timestamps.
 	TraceLog *trace.Log
+	// MetricAcquireNs / MetricReleaseNs / MetricCheckoutBytes, when
+	// non-nil, receive per-event observations: acquire-fence and
+	// release/write-back durations (virtual ns) and checked-out sizes
+	// (bytes). All three are nil-safe histograms, so no guards appear at
+	// the observation sites.
+	MetricAcquireNs     *metrics.Histogram
+	MetricReleaseNs     *metrics.Histogram
+	MetricCheckoutBytes *metrics.Histogram
 	// CommWait, when non-nil, replaces the blocking flush at the end of a
 	// cache-miss checkout: it is called with the issuing Local and must
 	// not return before the rank's outstanding transfers complete. The

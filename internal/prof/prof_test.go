@@ -57,6 +57,56 @@ func TestBreakdownOthersClampedAtZero(t *testing.T) {
 	}
 }
 
+// Zero elapsed time (e.g. a region that completed instantly, or Format
+// called before any region ran) must not divide by zero or go negative:
+// the breakdown degrades to the raw category times with Others at 0, and
+// Format reports 0% shares when nothing at all accumulated.
+func TestBreakdownZeroElapsed(t *testing.T) {
+	p := New(2)
+	p.AddName(CatGet, 0, 40)
+	bd := p.Breakdown(0)
+	if bd[CatGet] != 40 || bd[CatOthers] != 0 {
+		t.Fatalf("breakdown at zero elapsed = %v", bd)
+	}
+	empty := New(2)
+	s := empty.Format(0)
+	if !strings.Contains(s, "0.0%") {
+		t.Fatalf("zero-elapsed format has no 0%% share:\n%s", s)
+	}
+}
+
+// Charging an unregistered category by name must register it on the fly
+// and survive a Reset (registration persists, totals clear).
+func TestUnregisteredCategoryByName(t *testing.T) {
+	p := New(2)
+	p.AddName("Serial Quicksort", 1, 77)
+	if p.Total("Serial Quicksort") != 77 {
+		t.Fatalf("total = %d, want 77", p.Total("Serial Quicksort"))
+	}
+	p.Reset()
+	if p.Total("Serial Quicksort") != 0 {
+		t.Fatal("reset did not clear late-registered category")
+	}
+	p.AddName("Serial Quicksort", 0, 5)
+	if p.Total("Serial Quicksort") != 5 {
+		t.Fatal("category lost after reset")
+	}
+}
+
+// Breakdown omits zero-time categories but always includes Others, so
+// the map never reports noise from the pre-registered standard set.
+func TestBreakdownOmitsZeroCategories(t *testing.T) {
+	p := New(1)
+	p.AddName(CatSteal, 0, 10)
+	bd := p.Breakdown(100)
+	if len(bd) != 2 {
+		t.Fatalf("breakdown = %v, want only Steal and Others", bd)
+	}
+	if _, ok := bd[CatGet]; ok {
+		t.Fatal("zero-time category present in breakdown")
+	}
+}
+
 func TestReset(t *testing.T) {
 	p := New(2)
 	p.AddName(CatGet, 0, 100)

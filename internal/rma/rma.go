@@ -31,6 +31,8 @@ type Comm struct {
 	getBytes, putBytes uint64
 	getOps, putOps     uint64
 	atomicOps          uint64
+	flushWaits         uint64
+	barriers           uint64
 }
 
 // New creates a communicator with n ranks on engine e using network model p.
@@ -59,6 +61,8 @@ func (c *Comm) Rank(i int) *Rank { return c.ranks[i] }
 type Stats struct {
 	GetOps, PutOps, AtomicOps uint64
 	GetBytes, PutBytes        uint64
+	FlushWaits                uint64 // flushes that actually waited on outstanding ops
+	Barriers                  uint64 // completed barrier episodes
 }
 
 // Stats returns cumulative traffic counters.
@@ -66,6 +70,7 @@ func (c *Comm) Stats() Stats {
 	return Stats{
 		GetOps: c.getOps, PutOps: c.putOps, AtomicOps: c.atomicOps,
 		GetBytes: c.getBytes, PutBytes: c.putBytes,
+		FlushWaits: c.flushWaits, Barriers: c.barriers,
 	}
 }
 
@@ -129,6 +134,7 @@ func (r *Rank) issue(target, nbytes int) {
 // path — a flush-heavy rank costs the host nothing per wait.
 func (r *Rank) Flush() {
 	if d := r.pending - r.proc.Now(); d > 0 {
+		r.c.flushWaits++
 		r.proc.Advance(d)
 	}
 }
@@ -149,6 +155,7 @@ func (r *Rank) Barrier() {
 		return
 	}
 	// Last arriver releases everyone after a dissemination-style cost.
+	c.barriers++
 	steps := 0
 	for n := 1; n < len(c.ranks); n *= 2 {
 		steps++

@@ -63,6 +63,17 @@ type event struct {
 	fire func()
 }
 
+// EngineStats counts kernel activity for observability. All counters are
+// host-side bookkeeping: reading or resetting them never affects virtual
+// time.
+type EngineStats struct {
+	Events       uint64 // events popped from the queue
+	FastAdvances uint64 // Advances that bumped the clock with no queue traffic
+	Handoffs     uint64 // baton transfers between process goroutines
+	Callbacks    uint64 // engine-context callbacks fired
+	Spawns       uint64 // processes created
+}
+
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; create engines with NewEngine.
 type Engine struct {
@@ -73,6 +84,7 @@ type Engine struct {
 	live    map[*Proc]struct{}
 	parked  map[*Proc]struct{}
 	current *Proc
+	stats   EngineStats
 }
 
 // NewEngine returns a new engine with the clock at zero and no pending
@@ -87,6 +99,9 @@ func NewEngine() *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// Stats returns the cumulative kernel counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
 
 // eventLess orders the heap by deadline, then by scheduling order (FIFO
 // within an instant).
@@ -114,6 +129,7 @@ func (e *Engine) push(ev event) {
 
 // pop removes and returns the earliest event.
 func (e *Engine) pop() event {
+	e.stats.Events++
 	q := e.queue
 	top := q[0]
 	n := len(q) - 1
@@ -172,6 +188,7 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 		resume: make(chan struct{}),
 		body:   fn,
 	}
+	e.stats.Spawns++
 	e.live[p] = struct{}{}
 	e.scheduleResume(p, e.now)
 	return p
@@ -182,6 +199,7 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 // itself resumed (it blocks on its own resume channel, blocks on e.root, or
 // exits).
 func (e *Engine) transfer(q *Proc) {
+	e.stats.Handoffs++
 	e.current = q
 	if !q.started {
 		q.started = true
@@ -237,6 +255,7 @@ func (e *Engine) dispatch(self *Proc) {
 		e.now = ev.at
 		if ev.proc == nil {
 			e.current = nil
+			e.stats.Callbacks++
 			ev.fire()
 			continue
 		}
@@ -276,6 +295,7 @@ func (e *Engine) Run() error {
 		e.now = ev.at
 		if ev.proc == nil {
 			e.current = nil
+			e.stats.Callbacks++
 			ev.fire()
 			continue
 		}
@@ -340,6 +360,7 @@ func (p *Proc) Advance(d Time) {
 	e := p.eng
 	if d > 0 && (len(e.queue) == 0 || e.queue[0].at > e.now+d) {
 		e.now += d
+		e.stats.FastAdvances++
 		return
 	}
 	e.scheduleResume(p, e.now+d)

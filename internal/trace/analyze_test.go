@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fixtureLog builds a tiny two-rank fork-join trace by hand:
+//
+//	rank 0, tid 1 (root): runs [0,200), forks tid 2, runs [200,300),
+//	                      joins at 450, ends (root).
+//	rank 1:               steals tid 2 over [200,250), runs it [250,450),
+//	                      tid 2 ends into parent tid 1.
+//
+// Hand-computed ground truth: work 500, critical path 400 (root's 200
+// pre-fork + child's 200, which exceeds the root continuation's 100),
+// elapsed 450, rank 0 busy 300/idle 150, rank 1 busy 200 + steal 50 +
+// idle 200.
+func fixtureLog() *Log {
+	l := New()
+	l.RecSpan(0, 200, 0, KTaskRun, 1, 0)
+	l.Rec2(200, 0, KFork, 2, 1)
+	l.RecSpan(200, 100, 0, KTaskRun, 1, 0)
+	l.RecSpan(200, 50, 1, KSteal, 0, 2)
+	l.RecSpan(250, 200, 1, KTaskRun, 2, 0)
+	l.Rec2(450, 1, KTaskEnd, 2, 1)
+	l.Rec2(450, 0, KJoin, 2, 1)
+	l.Rec2(450, 0, KTaskEnd, 1, 0)
+	return l
+}
+
+func TestAnalyzeFixture(t *testing.T) {
+	a := Analyze(fixtureLog(), 2)
+	if a.Work != 500 {
+		t.Errorf("Work = %d, want 500", a.Work)
+	}
+	if a.CritPath != 400 {
+		t.Errorf("CritPath = %d, want 400", a.CritPath)
+	}
+	if a.Elapsed != 450 {
+		t.Errorf("Elapsed = %d, want 450", a.Elapsed)
+	}
+	if a.Parallelism != 1.25 {
+		t.Errorf("Parallelism = %v, want 1.25", a.Parallelism)
+	}
+	if a.Steals != 1 || a.FailedSteals != 0 {
+		t.Errorf("Steals = %d/%d failed, want 1/0", a.Steals, a.FailedSteals)
+	}
+	if a.LiveTasks != 0 {
+		t.Errorf("LiveTasks = %d, want 0", a.LiveTasks)
+	}
+	want := []RankActivity{
+		{Rank: 0, Busy: 300, Steal: 0, Idle: 150},
+		{Rank: 1, Busy: 200, Steal: 50, Idle: 200},
+	}
+	if len(a.Ranks) != len(want) {
+		t.Fatalf("len(Ranks) = %d, want %d", len(a.Ranks), len(want))
+	}
+	for i, w := range want {
+		if a.Ranks[i] != w {
+			t.Errorf("Ranks[%d] = %+v, want %+v", i, a.Ranks[i], w)
+		}
+	}
+	if a.StealLatency.Count != 1 || a.StealLatency.Sum != 50 {
+		t.Errorf("StealLatency = %+v, want count 1 sum 50", a.StealLatency)
+	}
+	// 50ns lands in the first bucket (<= 500).
+	if a.StealLatency.Counts[0] != 1 {
+		t.Errorf("StealLatency.Counts[0] = %d, want 1", a.StealLatency.Counts[0])
+	}
+}
+
+// A truncated trace (missing join/end events) must be flagged rather than
+// silently reporting a too-short critical path.
+func TestAnalyzeTruncated(t *testing.T) {
+	l := New()
+	l.RecSpan(0, 200, 0, KTaskRun, 1, 0)
+	l.Rec2(200, 0, KFork, 2, 1)
+	a := Analyze(l, 1)
+	if a.LiveTasks != 2 {
+		t.Errorf("LiveTasks = %d, want 2 (root + unjoined child)", a.LiveTasks)
+	}
+	var b strings.Builder
+	a.WriteReport(&b)
+	if !strings.Contains(b.String(), "truncated") {
+		t.Errorf("report does not flag truncation:\n%s", b.String())
+	}
+}
+
+// Extra ranks that recorded nothing still get an all-idle row.
+func TestAnalyzeIdleRanks(t *testing.T) {
+	a := Analyze(fixtureLog(), 4)
+	if len(a.Ranks) != 4 {
+		t.Fatalf("len(Ranks) = %d, want 4", len(a.Ranks))
+	}
+	if r := a.Ranks[3]; r.Busy != 0 || r.Steal != 0 || r.Idle != a.Elapsed {
+		t.Errorf("Ranks[3] = %+v, want all-idle over %d", r, a.Elapsed)
+	}
+}
+
+func TestWriteReportContents(t *testing.T) {
+	var b strings.Builder
+	Analyze(fixtureLog(), 2).WriteReport(&b)
+	out := b.String()
+	for _, want := range []string{"critical path", "parallelism", "1.25", "busy", "steal latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCacheReport(t *testing.T) {
+	raw := json.RawMessage(`{
+		"schema": "itoyori-metrics/v1",
+		"labels": {"policy": "Write-Back"},
+		"counters": {
+			"pgas_hit_bytes": 300, "pgas_fetch_bytes": 100,
+			"pgas_checkout_calls": 7, "pgas_evictions": 2,
+			"pgas_writeback_ops": 3, "pgas_writeback_bytes": 64
+		}
+	}`)
+	var b strings.Builder
+	if err := CacheReport(&b, "", raw); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Write-Back", "75.0%", "checkouts  7", "evictions 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cache report missing %q:\n%s", want, out)
+		}
+	}
+	// No metrics embedded: report nothing, no error.
+	b.Reset()
+	if err := CacheReport(&b, "x", nil); err != nil || b.Len() != 0 {
+		t.Errorf("empty metrics: got err %v, output %q", err, b.String())
+	}
+	if err := CacheReport(&b, "x", json.RawMessage(`{bad`)); err == nil {
+		t.Error("malformed metrics snapshot did not error")
+	}
+}

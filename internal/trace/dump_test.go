@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ityr/internal/metrics"
+	"ityr/internal/sim"
+)
+
+func TestDumpRoundtrip(t *testing.T) {
+	l := fixtureLog()
+	l.CoresPerNode = 2
+	meta := Meta{
+		Ranks:        2,
+		CoresPerNode: 2,
+		Policy:       "Write-Back",
+		Metrics:      json.RawMessage(`{"schema":"itoyori-metrics/v1"}`),
+	}
+	var b bytes.Buffer
+	if err := l.WriteDump(&b, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, gotMeta, err := ReadDump(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta.Ranks != 2 || gotMeta.CoresPerNode != 2 || gotMeta.Policy != "Write-Back" {
+		t.Errorf("meta = %+v", gotMeta)
+	}
+	if string(gotMeta.Metrics) != `{"schema":"itoyori-metrics/v1"}` {
+		t.Errorf("metrics payload = %s", gotMeta.Metrics)
+	}
+	if got.CoresPerNode != 2 {
+		t.Errorf("CoresPerNode = %d, want 2", got.CoresPerNode)
+	}
+	want, have := l.Events(), got.Events()
+	if len(want) != len(have) {
+		t.Fatalf("event count %d != %d", len(have), len(want))
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			t.Errorf("event %d: %+v != %+v", i, have[i], want[i])
+		}
+	}
+	// The analysis of the round-tripped log must match the original.
+	if a, b := Analyze(l, 2), Analyze(got, 2); a.CritPath != b.CritPath || a.Work != b.Work {
+		t.Errorf("analysis drift after roundtrip: %+v vs %+v", a, b)
+	}
+}
+
+func TestReadDumpRejectsUnknownSchema(t *testing.T) {
+	if _, _, err := ReadDump(strings.NewReader(`{"schema":"bogus/v9","events":[]}`)); err == nil {
+		t.Error("unknown schema accepted")
+	}
+	if _, _, err := ReadDump(strings.NewReader(`not json`)); err == nil {
+		t.Error("malformed input accepted")
+	}
+}
+
+// Satellite regression: Summary must report the min..max time range even
+// when ranks record out of timestamp order (per-rank rings are only
+// locally sorted), and must account span durations in the range end.
+func TestSummaryOutOfOrderRanks(t *testing.T) {
+	l := New()
+	l.Rec(100, 0, KFork, 1)               // recorded first, but not the earliest
+	l.Rec(10, 1, KAcquire, 0)             // earliest event, later rank
+	l.RecSpan(20, 500, 1, KTaskRun, 1, 0) // ends at 520: the true max
+	l.Rec(110, 0, KRelease, 0)            // recorded last, not the latest
+	if first, last := l.Span(); first != 10 || last != 520 {
+		t.Fatalf("Span() = (%d, %d), want (10, 520)", first, last)
+	}
+	var b strings.Builder
+	l.Summary(&b)
+	if !strings.Contains(b.String(), "over 510 ns") {
+		t.Errorf("summary range wrong (want 'over 510 ns'):\n%s", b.String())
+	}
+}
+
+// Satellite regression: Chrome export groups ranks into nodes via PID and
+// emits spans as complete ("X") events with microsecond durations.
+func TestChromeJSONSpansAndNodePID(t *testing.T) {
+	l := New()
+	l.CoresPerNode = 2
+	l.RecSpan(1000, 2000, 3, KTaskRun, 7, 0) // rank 3 -> node 1
+	l.Rec(500, 0, KFork, 1)                  // rank 0 -> node 0
+	var b bytes.Buffer
+	if err := l.ChromeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(b.Bytes(), &evs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	span, inst := evs[0], evs[1] // export preserves recording order
+	if span["ph"] != "X" || span["dur"] != 2.0 || span["ts"] != 1.0 {
+		t.Errorf("span event = %v, want ph X dur 2 ts 1", span)
+	}
+	if span["pid"] != 1.0 || span["tid"] != 3.0 {
+		t.Errorf("span pid/tid = %v/%v, want node 1 / rank 3", span["pid"], span["tid"])
+	}
+	if inst["ph"] != "i" || inst["pid"] != 0.0 {
+		t.Errorf("instant event = %v, want ph i pid 0", inst)
+	}
+}
+
+func TestRingDropsOldest(t *testing.T) {
+	l := NewRing(2)
+	for i := int64(1); i <= 5; i++ {
+		l.Rec(sim.Time(i*10), 0, KFork, i)
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want 2", l.Len())
+	}
+	if l.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", l.Dropped())
+	}
+	evs := l.Events()
+	if evs[0].Arg != 4 || evs[1].Arg != 5 {
+		t.Errorf("retained args %d,%d, want 4,5", evs[0].Arg, evs[1].Arg)
+	}
+	var b strings.Builder
+	l.Summary(&b)
+	if !strings.Contains(b.String(), "3 older events dropped") {
+		t.Errorf("summary does not mention drops:\n%s", b.String())
+	}
+}
+
+// The off-switch must be free: a nil log and nil metrics instruments do
+// no work and no allocation per event — this is what lets every call
+// site record unconditionally.
+func TestDisabledInstrumentationZeroAllocs(t *testing.T) {
+	var l *Log
+	var h *metrics.Histogram
+	var c *metrics.Counter
+	if n := testing.AllocsPerRun(100, func() {
+		l.Rec(1, 0, KFork, 1)
+		l.Rec2(1, 0, KFork, 1, 2)
+		l.RecSpan(1, 2, 0, KTaskRun, 1, 0)
+		h.Observe(42)
+		c.Inc()
+	}); n != 0 {
+		t.Errorf("disabled instrumentation allocates %v per event, want 0", n)
+	}
+}

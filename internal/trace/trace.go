@@ -1,8 +1,18 @@
 // Package trace records timestamped runtime events (scheduler actions,
 // fences, cache misses) for debugging and performance analysis — the
-// simulator's equivalent of Itoyori's execution tracer. Logs can be
-// dumped as text, summarized per rank, or exported in the Chrome tracing
-// JSON format for visual timelines.
+// simulator's equivalent of Itoyori's execution tracer. Since PR 2 it
+// records both instant events and *spans* (events with a duration), kept
+// in per-rank ring buffers so long runs can bound memory to the most
+// recent events per rank. Logs can be dumped as text, summarized per
+// rank, serialized to a self-describing JSON dump ("itytrace/v1") for
+// offline analysis with cmd/itytrace, or exported in the Chrome tracing
+// JSON format for visual timelines (spans become "X" complete events,
+// grouped by simulated node via the PID field).
+//
+// All timestamps are virtual (sim.Time); recording never advances the
+// clock, so enabling tracing cannot change simulated behavior. A nil *Log
+// records nothing, which is the off-switch: call sites need no
+// enabled-checks and the off path does zero allocations.
 package trace
 
 import (
@@ -17,7 +27,9 @@ import (
 // Kind labels an event.
 type Kind uint8
 
-// Event kinds.
+// Event kinds. KFork..KRegionExit predate span support; the kinds after
+// KRegionExit were added with it (KTaskRun/KTaskEnd/KJoin carry the
+// thread IDs the critical-path analysis needs).
 const (
 	KFork Kind = iota
 	KSteal
@@ -31,12 +43,17 @@ const (
 	KEviction
 	KRegionEnter
 	KRegionExit
+	KCheckout
+	KTaskRun
+	KTaskEnd
+	KJoin
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"fork", "steal", "failed-steal", "migrate", "release", "lazy-release",
 	"acquire", "cache-miss", "write-back", "eviction", "region-enter", "region-exit",
+	"checkout", "task", "task-end", "join",
 }
 
 func (k Kind) String() string {
@@ -46,70 +63,213 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
-// Event is one recorded occurrence. Arg is kind-specific (bytes for cache
-// events, victim rank for steals, ...).
+// Event is one recorded occurrence. Dur == 0 means an instant event; a
+// span covers [T, T+Dur). Arg and Arg2 are kind-specific:
+//
+//	KFork        Arg = child thread ID,  Arg2 = parent thread ID
+//	KTaskRun     Arg = thread ID (span: one executed segment of the task)
+//	KTaskEnd     Arg = thread ID,        Arg2 = parent thread ID (0 = root)
+//	KJoin        Arg = child thread ID,  Arg2 = parent thread ID
+//	KSteal       Arg = victim rank (span: steal latency on the thief)
+//	KFailedSteal Arg = victim rank (span: wasted attempt latency)
+//	KCheckout    Arg = bytes            (span: checkout call duration)
+//	KCacheMiss   Arg = bytes fetched
+//	KWriteBack   Arg = bytes written back
+//	KEviction    Arg = bytes evicted
+//	KAcquire / KRelease / KMigrate: span over the fence / migration fence
 type Event struct {
 	T    sim.Time
+	Dur  sim.Time
 	Rank int
 	Kind Kind
 	Arg  int64
+	Arg2 int64
+}
+
+// entry pairs an event with its global sequence number so per-rank rings
+// can be merged back into deterministic recording order.
+type entry struct {
+	seq uint64
+	ev  Event
+}
+
+// ring is one rank's buffer. With no capacity limit it is a plain append
+// log; with a limit it overwrites the oldest entry once full.
+type ring struct {
+	buf     []entry
+	start   int
+	dropped uint64
+}
+
+func (rg *ring) add(e entry, capPerRank int) {
+	if capPerRank <= 0 || len(rg.buf) < capPerRank {
+		rg.buf = append(rg.buf, e)
+		return
+	}
+	rg.buf[rg.start] = e
+	rg.start++
+	if rg.start == capPerRank {
+		rg.start = 0
+	}
+	rg.dropped++
 }
 
 // Log is an event recorder. A nil *Log is valid and records nothing, so
 // callers need no enabled-checks.
 type Log struct {
-	events []Event
+	rings      []ring
+	seq        uint64
+	capPerRank int
+
+	// CoresPerNode, when set, lets exports map a rank to its simulated
+	// node (node = rank / CoresPerNode) so Perfetto groups timelines by
+	// node (PID) instead of lumping every rank under PID 0.
+	CoresPerNode int
 }
 
-// New creates an empty log.
+// New creates an empty, unbounded log.
 func New() *Log { return &Log{} }
 
-// Rec appends an event. No-op on a nil log.
+// NewRing creates a log that keeps at most capPerRank most-recent events
+// per rank, overwriting the oldest once full. capPerRank <= 0 means
+// unbounded.
+func NewRing(capPerRank int) *Log { return &Log{capPerRank: capPerRank} }
+
+func (l *Log) rec(ev Event) {
+	r := ev.Rank
+	if r < 0 {
+		r = 0
+	}
+	for r >= len(l.rings) {
+		l.rings = append(l.rings, ring{})
+	}
+	l.seq++
+	l.rings[r].add(entry{seq: l.seq, ev: ev}, l.capPerRank)
+}
+
+// Rec appends an instant event. No-op on a nil log.
 func (l *Log) Rec(t sim.Time, rank int, kind Kind, arg int64) {
 	if l == nil {
 		return
 	}
-	l.events = append(l.events, Event{T: t, Rank: rank, Kind: kind, Arg: arg})
+	l.rec(Event{T: t, Rank: rank, Kind: kind, Arg: arg})
 }
 
-// Len returns the number of recorded events (0 for nil).
+// Rec2 appends an instant event with two arguments. No-op on a nil log.
+func (l *Log) Rec2(t sim.Time, rank int, kind Kind, arg, arg2 int64) {
+	if l == nil {
+		return
+	}
+	l.rec(Event{T: t, Rank: rank, Kind: kind, Arg: arg, Arg2: arg2})
+}
+
+// RecSpan appends a span covering [t, t+dur). No-op on a nil log.
+func (l *Log) RecSpan(t, dur sim.Time, rank int, kind Kind, arg, arg2 int64) {
+	if l == nil {
+		return
+	}
+	l.rec(Event{T: t, Dur: dur, Rank: rank, Kind: kind, Arg: arg, Arg2: arg2})
+}
+
+// Len returns the number of retained events (0 for nil).
 func (l *Log) Len() int {
 	if l == nil {
 		return 0
 	}
-	return len(l.events)
+	n := 0
+	for i := range l.rings {
+		n += len(l.rings[i].buf)
+	}
+	return n
 }
 
-// Events returns the recorded events in order.
+// Dropped returns how many events were overwritten across all rings.
+func (l *Log) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	var n uint64
+	for i := range l.rings {
+		n += l.rings[i].dropped
+	}
+	return n
+}
+
+// Events returns the retained events merged across ranks in recording
+// order (the deterministic global sequence, not timestamp order — ranks
+// record interleaved but each at monotonically nondecreasing times).
 func (l *Log) Events() []Event {
 	if l == nil {
 		return nil
 	}
-	return l.events
+	total := l.Len()
+	if total == 0 {
+		return nil
+	}
+	ents := make([]entry, 0, total)
+	for i := range l.rings {
+		ents = append(ents, l.rings[i].buf...)
+	}
+	sort.Slice(ents, func(a, b int) bool { return ents[a].seq < ents[b].seq })
+	out := make([]Event, total)
+	for i := range ents {
+		out[i] = ents[i].ev
+	}
+	return out
 }
 
-// Count returns how many events of the given kind were recorded.
+// Count returns how many retained events have the given kind.
 func (l *Log) Count(kind Kind) int {
 	if l == nil {
 		return 0
 	}
 	n := 0
-	for _, e := range l.events {
-		if e.Kind == kind {
-			n++
+	for i := range l.rings {
+		for _, e := range l.rings[i].buf {
+			if e.ev.Kind == kind {
+				n++
+			}
 		}
 	}
 	return n
 }
 
-// Dump writes one line per event.
+// Span returns the [min start, max end] of all retained events, or (0, 0)
+// when empty. The end accounts for span durations.
+func (l *Log) Span() (first, last sim.Time) {
+	if l.Len() == 0 {
+		return 0, 0
+	}
+	started := false
+	for i := range l.rings {
+		for _, e := range l.rings[i].buf {
+			if !started || e.ev.T < first {
+				first = e.ev.T
+			}
+			if end := e.ev.T + e.ev.Dur; !started || end > last {
+				last = end
+			}
+			started = true
+		}
+	}
+	return first, last
+}
+
+// Dump writes one line per event in recording order.
 func (l *Log) Dump(w io.Writer) {
 	for _, e := range l.Events() {
-		fmt.Fprintf(w, "%12d ns  rank %3d  %-13s %d\n", e.T, e.Rank, e.Kind, e.Arg)
+		if e.Dur > 0 {
+			fmt.Fprintf(w, "%12d ns  rank %3d  %-13s dur %d arg %d %d\n",
+				e.T, e.Rank, e.Kind, e.Dur, e.Arg, e.Arg2)
+		} else {
+			fmt.Fprintf(w, "%12d ns  rank %3d  %-13s %d\n", e.T, e.Rank, e.Kind, e.Arg)
+		}
 	}
 }
 
-// Summary writes per-kind totals and per-rank counts for the busiest kinds.
+// Summary writes per-kind totals and the overall time range. Events are
+// recorded per rank, so the log is not globally time-sorted: the range is
+// computed from min/max timestamps, not first/last entries.
 func (l *Log) Summary(w io.Writer) {
 	if l.Len() == 0 {
 		fmt.Fprintln(w, "trace: no events")
@@ -117,7 +277,7 @@ func (l *Log) Summary(w io.Writer) {
 	}
 	totals := map[Kind]int{}
 	ranks := map[int]bool{}
-	for _, e := range l.events {
+	for _, e := range l.Events() {
 		totals[e.Kind]++
 		ranks[e.Rank] = true
 	}
@@ -125,39 +285,146 @@ func (l *Log) Summary(w io.Writer) {
 	for k := range totals {
 		kinds = append(kinds, k)
 	}
-	sort.Slice(kinds, func(i, j int) bool { return totals[kinds[i]] > totals[kinds[j]] })
+	sort.Slice(kinds, func(i, j int) bool {
+		if totals[kinds[i]] != totals[kinds[j]] {
+			return totals[kinds[i]] > totals[kinds[j]]
+		}
+		return kinds[i] < kinds[j]
+	})
+	first, last := l.Span()
 	fmt.Fprintf(w, "trace: %d events on %d ranks over %d ns\n",
-		len(l.events), len(ranks), l.events[len(l.events)-1].T-l.events[0].T)
+		l.Len(), len(ranks), last-first)
+	if d := l.Dropped(); d > 0 {
+		fmt.Fprintf(w, "  (%d older events dropped by ring buffers)\n", d)
+	}
 	for _, k := range kinds {
 		fmt.Fprintf(w, "  %-13s %8d\n", k, totals[k])
 	}
 }
 
-// chromeEvent is the Chrome tracing "instant event" schema.
+// node maps a rank to its simulated node for timeline grouping.
+func (l *Log) node(rank int) int {
+	if l != nil && l.CoresPerNode > 0 {
+		return rank / l.CoresPerNode
+	}
+	return 0
+}
+
+// chromeEvent is the Chrome tracing event schema (instant and complete).
 type chromeEvent struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	TS   float64 `json:"ts"` // microseconds
-	PID  int     `json:"pid"`
-	TID  int     `json:"tid"`
-	S    string  `json:"s"`
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	TS   float64          `json:"ts"` // microseconds
+	Dur  float64          `json:"dur,omitempty"`
+	PID  int              `json:"pid"`
+	TID  int              `json:"tid"`
+	S    string           `json:"s,omitempty"`
+	Args map[string]int64 `json:"args,omitempty"`
 }
 
 // ChromeJSON writes the log in the Chrome tracing (about://tracing /
-// Perfetto) JSON array format, one instant event per record, with one
-// "thread" per rank.
+// Perfetto) JSON array format: spans as "X" complete events, the rest as
+// instants, with one "thread" (TID) per rank grouped into "processes"
+// (PID) by simulated node.
 func (l *Log) ChromeJSON(w io.Writer) error {
 	out := make([]chromeEvent, 0, l.Len())
 	for _, e := range l.Events() {
-		out = append(out, chromeEvent{
+		ce := chromeEvent{
 			Name: e.Kind.String(),
-			Ph:   "i",
 			TS:   float64(e.T) / 1000,
-			PID:  0,
+			PID:  l.node(e.Rank),
 			TID:  e.Rank,
-			S:    "t",
-		})
+		}
+		if e.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = float64(e.Dur) / 1000
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		if e.Arg != 0 || e.Arg2 != 0 {
+			ce.Args = map[string]int64{"arg": e.Arg, "arg2": e.Arg2}
+		}
+		out = append(out, ce)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// DumpSchema identifies the trace dump document format.
+const DumpSchema = "itytrace/v1"
+
+// Meta is run metadata carried alongside a trace dump so offline analysis
+// does not need the original configuration.
+type Meta struct {
+	Ranks        int             `json:"ranks"`
+	CoresPerNode int             `json:"cores_per_node,omitempty"`
+	Policy       string          `json:"policy,omitempty"`
+	Metrics      json.RawMessage `json:"metrics,omitempty"`
+}
+
+// dumpDoc is the on-disk form: events as compact [t, dur, rank, kind,
+// arg, arg2] tuples in recording order.
+type dumpDoc struct {
+	Schema       string          `json:"schema"`
+	Ranks        int             `json:"ranks"`
+	CoresPerNode int             `json:"cores_per_node,omitempty"`
+	Policy       string          `json:"policy,omitempty"`
+	Dropped      uint64          `json:"dropped,omitempty"`
+	Metrics      json.RawMessage `json:"metrics,omitempty"`
+	Events       [][6]int64      `json:"events"`
+}
+
+// WriteDump serializes the log and metadata as an "itytrace/v1" JSON
+// document for cmd/itytrace.
+func (l *Log) WriteDump(w io.Writer, m Meta) error {
+	doc := dumpDoc{
+		Schema:       DumpSchema,
+		Ranks:        m.Ranks,
+		CoresPerNode: m.CoresPerNode,
+		Policy:       m.Policy,
+		Dropped:      l.Dropped(),
+		Metrics:      m.Metrics,
+		Events:       make([][6]int64, 0, l.Len()),
+	}
+	if doc.CoresPerNode == 0 && l != nil {
+		doc.CoresPerNode = l.CoresPerNode
+	}
+	for _, e := range l.Events() {
+		doc.Events = append(doc.Events,
+			[6]int64{int64(e.T), int64(e.Dur), int64(e.Rank), int64(e.Kind), e.Arg, e.Arg2})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ReadDump parses an "itytrace/v1" document back into a Log and its Meta.
+func ReadDump(r io.Reader) (*Log, Meta, error) {
+	var doc dumpDoc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, Meta{}, fmt.Errorf("trace: reading dump: %w", err)
+	}
+	if doc.Schema != DumpSchema {
+		return nil, Meta{}, fmt.Errorf("trace: unsupported dump schema %q (want %q)", doc.Schema, DumpSchema)
+	}
+	l := New()
+	l.CoresPerNode = doc.CoresPerNode
+	for _, t := range doc.Events {
+		l.rec(Event{
+			T:    sim.Time(t[0]),
+			Dur:  sim.Time(t[1]),
+			Rank: int(t[2]),
+			Kind: Kind(t[3]),
+			Arg:  t[4],
+			Arg2: t[5],
+		})
+	}
+	m := Meta{
+		Ranks:        doc.Ranks,
+		CoresPerNode: doc.CoresPerNode,
+		Policy:       doc.Policy,
+		Metrics:      doc.Metrics,
+	}
+	return l, m, nil
 }

@@ -22,8 +22,10 @@ import (
 	"fmt"
 	"math/rand"
 
+	"ityr/internal/metrics"
 	"ityr/internal/rma"
 	"ityr/internal/sim"
+	"ityr/internal/trace"
 )
 
 // Hooks connects the scheduler to the memory consistency layer. The rank
@@ -121,6 +123,48 @@ type Sched struct {
 
 	// Stats holds cumulative scheduler statistics.
 	Stats Stats
+
+	// tracer, when non-nil, receives the fork-join DAG: KTaskRun spans for
+	// executed task segments, KFork/KJoin/KTaskEnd edges carrying thread
+	// IDs, and KSteal/KFailedSteal latency spans. Set via SetTrace.
+	tracer  *trace.Log
+	nextTID int64
+
+	// StealLatency / FailedStealLatency, when non-nil, receive the
+	// virtual-time cost of each steal attempt (nil-safe histograms).
+	StealLatency       *metrics.Histogram
+	FailedStealLatency *metrics.Histogram
+}
+
+// SetTrace attaches an event log. Call before the first fork-join region;
+// a nil log (the default) disables DAG tracing entirely.
+func (s *Sched) SetTrace(tl *trace.Log) { s.tracer = tl }
+
+// traceSeg closes the thread's currently open execution segment as a
+// KTaskRun span ending at now, and opens the next one. No-op without a
+// tracer.
+func (s *Sched) traceSeg(th *thread, rank int, now sim.Time) {
+	if s.tracer == nil {
+		return
+	}
+	if d := now - th.segStart; d > 0 {
+		s.tracer.RecSpan(th.segStart, d, rank, trace.KTaskRun, th.tid, 0)
+	}
+	th.segStart = now
+}
+
+// traceEnd records a thread's final segment and its KTaskEnd marker
+// (Arg2 = parent thread ID, 0 for the root).
+func (s *Sched) traceEnd(th *thread, rank int, now sim.Time) {
+	if s.tracer == nil {
+		return
+	}
+	s.traceSeg(th, rank, now)
+	var ptid int64
+	if th.parent != nil {
+		ptid = th.parent.th.tid
+	}
+	s.tracer.Rec2(now, rank, trace.KTaskEnd, th.tid, ptid)
 }
 
 // NewSched creates the scheduler over comm.
@@ -179,6 +223,11 @@ type thread struct {
 	doneRank   int
 	joinWaiter *thread
 	waiterRank int
+
+	// tid is the thread's stable ID in the trace DAG (root = 1); segStart
+	// is where the currently open KTaskRun segment began.
+	tid      int64
+	segStart sim.Time
 }
 
 // TB is the thread binding passed to every thread body: the interface
@@ -219,18 +268,21 @@ func (s *Sched) WorkerMain(rankID int, body func(*TB)) {
 	s.done = false
 	w.rank.Barrier()
 	if rankID == 0 {
-		root := &thread{worker: w}
+		s.nextTID++
+		root := &thread{worker: w, tid: s.nextTID}
 		w.proc.Engine().Spawn("root", func(p *sim.Proc) {
 			root.proc = p
 			s.threadOf[p] = root
 			defer delete(s.threadOf, p)
 			w.rank.Attach(p)
+			root.segStart = p.Now()
 			tb := &TB{w: w, th: root}
 			body(tb)
 			// Publish the root's final writes, end the region, and hand
 			// the token of whatever rank the root ended on back to its
 			// scheduler.
 			cur := tb.w
+			s.traceEnd(root, cur.rank.ID(), p.Now())
 			s.hooks.OnSuspend(cur.rank.ID())
 			s.done = true
 			cur.rank.Attach(cur.proc)
@@ -327,6 +379,7 @@ func (w *Worker) trySteal() bool {
 	if n == 1 {
 		return false
 	}
+	t0 := w.proc.Now()
 	vID := w.pickVictim()
 	v := s.workers[vID]
 	net := s.comm.Net()
@@ -335,6 +388,11 @@ func (w *Worker) trySteal() bool {
 	w.proc.Advance(net.AtomicTime(me, vID))
 	if len(v.deque) == 0 {
 		s.Stats.FailedSteals++
+		d := w.proc.Now() - t0
+		s.FailedStealLatency.Observe(d)
+		if s.tracer != nil {
+			s.tracer.RecSpan(t0, d, me, trace.KFailedSteal, int64(vID), 0)
+		}
 		return false
 	}
 	// Take the oldest entry and fetch the suspended thread's stack.
@@ -350,6 +408,13 @@ func (w *Worker) trySteal() bool {
 	// Acquire #2 (with the victim's Release #1 handler) happens here on
 	// the thief; the resumed thread needs no further fence.
 	s.hooks.OnSteal(me, e.handler)
+	// The latency span covers CAS + stack transfer + Acquire #2: the full
+	// cost from deciding to steal to being able to run the continuation.
+	d := w.proc.Now() - t0
+	s.StealLatency.Observe(d)
+	if s.tracer != nil {
+		s.tracer.RecSpan(t0, d, me, trace.KSteal, int64(vID), e.th.tid)
+	}
 	w.resumeHere(e.th, false)
 	return true
 }
@@ -402,15 +467,25 @@ func (tb *TB) Fork(fn func(*TB)) *Thread {
 	e := &entry{th: tb.th, handler: h}
 	w.deque = append(w.deque, e)
 
-	child := &thread{worker: w, parent: e}
+	s.nextTID++
+	child := &thread{worker: w, parent: e, tid: s.nextTID}
+	if s.tracer != nil {
+		// Close the parent's segment first so its path length is current
+		// at the fork edge, then record the edge itself.
+		now := tb.th.proc.Now()
+		s.traceSeg(tb.th, w.rank.ID(), now)
+		s.tracer.Rec2(now, w.rank.ID(), trace.KFork, child.tid, tb.th.tid)
+	}
 	w.proc.Engine().Spawn("thread", func(p *sim.Proc) {
 		child.proc = p
 		s.threadOf[p] = child
 		defer delete(s.threadOf, p)
 		cw := child.worker
 		cw.rank.Attach(p)
+		child.segStart = p.Now()
 		cb := &TB{w: cw, th: child}
 		fn(cb)
+		s.traceEnd(child, cb.w.rank.ID(), p.Now())
 		child.finish(cb.w)
 	})
 	// The child takes the rank token; the parent parks at the fork point.
@@ -466,6 +541,10 @@ func (tb *TB) suspendAndResume() {
 	th := tb.th
 	th.proc.Park()
 	tb.w = th.worker
+	// The next execution segment starts here; any resume-time fence below
+	// is charged to it (the thread cannot proceed without the fence, so it
+	// belongs on its path).
+	th.segStart = th.proc.Now()
 	if th.fenceOnResume {
 		th.fenceOnResume = false
 		tb.w.sched.hooks.OnMigrateArrive(tb.w.rank.ID())
@@ -487,6 +566,9 @@ func (tb *TB) Join(t *Thread) {
 			// Acquire #1: the child's writes were released on another rank.
 			s.hooks.OnMigrateArrive(w.rank.ID())
 		}
+		if s.tracer != nil {
+			s.tracer.Rec2(tb.th.proc.Now(), w.rank.ID(), trace.KJoin, c.tid, tb.th.tid)
+		}
 		return
 	}
 	// The child is still running somewhere; block. The waiter registration
@@ -495,11 +577,18 @@ func (tb *TB) Join(t *Thread) {
 	c.joinWaiter = tb.th
 	c.waiterRank = w.rank.ID()
 	s.hooks.OnSuspend(w.rank.ID()) // Release #3
+	s.traceSeg(tb.th, w.rank.ID(), tb.th.proc.Now())
 	// Give this rank's token back to its scheduler and park; the
 	// completing child will hand us its rank's token.
 	w.rank.Attach(w.proc)
 	w.proc.Wake()
 	tb.suspendAndResume()
+	if s.tracer != nil {
+		// The join edge is recorded after the child's final events (we
+		// resumed only once it completed), so the analysis sees the
+		// child's full path when it folds it into ours.
+		s.tracer.Rec2(tb.th.proc.Now(), tb.w.rank.ID(), trace.KJoin, c.tid, tb.th.tid)
+	}
 }
 
 // Yield lets long-running leaf code service deferred runtime work
@@ -562,10 +651,12 @@ func (s *Sched) CommWait(until sim.Time) bool {
 	}
 	w := th.worker
 	s.Stats.CommWaits++
+	s.traceSeg(th, w.rank.ID(), cur.Now())
 	w.ready = append(w.ready, timedThread{th: th, until: until})
 	w.rank.Attach(w.proc)
 	w.proc.Wake()
 	th.proc.Park()
 	// Resumed by the scheduler at or after `until`, on the same rank.
+	th.segStart = th.proc.Now()
 	return true
 }
