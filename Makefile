@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race golden bench hostperf
+.PHONY: check fmt vet build test race race-all golden faults bench hostperf
 
-check: fmt vet build test race golden
+check: fmt vet build test race golden faults
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -26,11 +26,22 @@ test:
 race:
 	$(GO) test -race ./internal/sim ./internal/rma
 
+# Whole-module race run (CI's second job; slower than `race`).
+race-all:
+	$(GO) test -race ./...
+
 # Determinism gate: the golden digest must be bit-identical run-to-run
 # with tracing ON, and the trace->dump->analyze pipeline must hold up on
 # a 16-rank run. -count=1 defeats the test cache so CI really re-runs it.
 golden:
 	$(GO) test -count=1 -run 'KernelDeterminismGolden|CilksortTraceReport|MetricsRunStable' ./internal/bench
+
+# Fault suite: the seeded-fault golden (same plan -> bit-identical run),
+# the zero-overhead-when-off digest, and every app terminating correctly
+# under every canned plan.
+faults:
+	$(GO) test -count=1 -run 'FaultDeterminismGolden|EmptyPlanMatchesNoPlan|FaultPlansAppsTerminate|FaultBenchSmoke' ./internal/bench
+	$(GO) test -count=1 ./internal/fault
 
 # Host-side kernel throughput (not part of check: timing-sensitive).
 bench:

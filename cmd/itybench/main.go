@@ -12,6 +12,10 @@
 //	                         # host-side kernel microbenchmarks (events/sec,
 //	                         # RMA ops/sec), best of -count runs, written as
 //	                         # machine-readable JSON
+//	itybench -faults BENCH_faults.json -scale quick
+//	                         # the apps under the canned fault plans
+//	                         # (link degradation, flaky RMA, straggler),
+//	                         # outputs verified, written as JSON
 package main
 
 import (
@@ -31,6 +35,7 @@ func main() {
 	hostperf := flag.String("hostperf", "", "run host-perf microbenchmarks and write JSON report to this file ('-' for stdout)")
 	count := flag.Int("count", 3, "with -hostperf: runs per benchmark (best is kept)")
 	metricsFile := flag.String("metrics", "", "run the canonical cilksort config and write its runtime-metrics JSON snapshot to this file ('-' for stdout)")
+	faultsFile := flag.String("faults", "", "run the apps under the canned fault plans and write the JSON report to this file ('-' for stdout)")
 	flag.Parse()
 
 	if *hostperf != "" {
@@ -72,6 +77,38 @@ func main() {
 
 	if *env {
 		bench.Table1(os.Stdout, sc)
+		return
+	}
+
+	if *faultsFile != "" {
+		summary := io.Writer(os.Stdout)
+		out := os.Stdout
+		if *faultsFile == "-" {
+			summary = os.Stderr
+		} else {
+			f, err := os.Create(*faultsFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		rep := bench.FaultBench(summary, sc)
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		bad := 0
+		for _, r := range rep.Runs {
+			if !r.Verified {
+				bad++
+			}
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "%d run(s) failed output verification\n", bad)
+			os.Exit(1)
+		}
 		return
 	}
 

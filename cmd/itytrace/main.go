@@ -64,6 +64,9 @@ func main() {
 	if err := trace.CacheReport(os.Stdout, meta.Policy, meta.Metrics); err != nil {
 		fail(err)
 	}
+	if err := trace.ResilienceReport(os.Stdout, meta.Metrics); err != nil {
+		fail(err)
+	}
 
 	if *chrome != "" {
 		cf, err := os.Create(*chrome)

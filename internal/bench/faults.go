@@ -1,0 +1,260 @@
+// Fault-tolerance benchmark: the Fig. 7 cilksort configuration re-run
+// under the canned deterministic fault plans (internal/fault), with the
+// output verified after every run. The paper's evaluation assumes a
+// healthy Omni-Path fabric; this harness quantifies how the runtime's
+// resilience machinery (RMA retry/timeout/backoff, steal-victim
+// blacklisting, straggler-scaled processors) degrades under adverse
+// conditions while still producing correct results.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ityr"
+	"ityr/internal/apps/cilksort"
+	"ityr/internal/apps/fmm"
+	"ityr/internal/apps/uts"
+	"ityr/internal/fault"
+	"ityr/internal/sim"
+)
+
+// FaultRun is one row of the report: one application run under one plan.
+type FaultRun struct {
+	Plan     string  `json:"plan"` // "clean" or the canned plan name
+	App      string  `json:"app"`
+	TimeNs   int64   `json:"time_ns"`
+	CleanNs  int64   `json:"clean_time_ns"` // same app without a plan
+	Slowdown float64 `json:"slowdown"`      // TimeNs / CleanNs
+	Verified bool    `json:"verified"`      // output checked, not just "terminated"
+
+	// Resilience activity observed during the run.
+	InjectedFailures uint64 `json:"injected_failures"`
+	Retries          uint64 `json:"rma_retries"`
+	RetryStallNs     uint64 `json:"rma_retry_stall_ns"`
+	Steals           uint64 `json:"steals"`
+	FailedSteals     uint64 `json:"failed_steals"`
+	StealTimeouts    uint64 `json:"steal_timeouts"`
+	Blacklists       uint64 `json:"blacklists"`
+	BlacklistSkips   uint64 `json:"blacklist_skips"`
+}
+
+// FaultReport is the "itoyori-faults/v1" document written by
+// `itybench -faults`.
+type FaultReport struct {
+	Schema       string     `json:"schema"`
+	Scale        string     `json:"scale"`
+	Seed         int64      `json:"seed"`
+	Ranks        int        `json:"ranks"`
+	CoresPerNode int        `json:"cores_per_node"`
+	Runs         []FaultRun `json:"runs"`
+}
+
+// WriteJSON serializes the report as indented JSON.
+func (rep FaultReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// faultSeed seeds both the runtime and the fault plans, matching the
+// Fig. 7 runs so clean times are comparable.
+const faultSeed = 11
+
+// faultConfig is runtimeConfig plus an armed plan. Victim blacklisting is
+// enabled whenever a plan is armed — it is the scheduler-side half of the
+// resilience story and off by default only to preserve the fault-free
+// golden digest.
+func faultConfig(sc Scale, plan *fault.Plan) ityr.Config {
+	cfg := runtimeConfig(sc.FixedRanks, sc.CoresPerNode, ityr.WriteBackLazy, faultSeed)
+	if plan != nil {
+		cfg.Faults = plan
+		cfg.Sched.VictimBlacklist = true
+	}
+	return cfg
+}
+
+// FaultCilksortRun runs the Fig. 7 cilksort configuration under plan
+// (nil = clean) and verifies the result: the array must be sorted and its
+// checksum conserved. Returns the sort time, the runtime for counter
+// access, and the verification verdict.
+func FaultCilksortRun(sc Scale, plan *fault.Plan) (sim.Time, *ityr.Runtime, bool) {
+	rt := ityr.NewRuntime(faultConfig(sc, plan))
+	n, cutoff := sc.CilksortN, sc.SortCutoff
+	var elapsed sim.Time
+	var before, after int64
+	sorted := false
+	err := rt.Run(func(s *ityr.SPMD) {
+		var a, b ityr.GSpan[cilksort.Elem]
+		if s.Rank() == 0 {
+			a = ityr.AllocArraySPMD[cilksort.Elem](s, n, ityr.BlockCyclicDist)
+			b = ityr.AllocArraySPMD[cilksort.Elem](s, n, ityr.BlockCyclicDist)
+		}
+		s.Barrier()
+		s.RootExec(func(c *ityr.Ctx) {
+			cilksort.Generate(c, a, faultSeed)
+			before = cilksort.Checksum(c, a)
+		})
+		t0 := s.Now()
+		s.RootExec(func(c *ityr.Ctx) {
+			cilksort.Sort(c, a, b, cutoff)
+		})
+		if s.Rank() == 0 {
+			elapsed = s.Now() - t0
+		}
+		s.RootExec(func(c *ityr.Ctx) {
+			sorted = cilksort.IsSorted(c, a)
+			after = cilksort.Checksum(c, a)
+		})
+	})
+	if err != nil {
+		panic(err)
+	}
+	return elapsed, rt, sorted && before == after
+}
+
+// FaultUTSRun traverses the scale's small tree under plan and verifies
+// the traversal count against the host-side count.
+func FaultUTSRun(sc Scale, plan *fault.Plan) (sim.Time, *ityr.Runtime, bool) {
+	rt := ityr.NewRuntime(faultConfig(sc, plan))
+	tree := sc.UTSSmall
+	var elapsed sim.Time
+	var nodes, want int64
+	err := rt.Run(func(s *ityr.SPMD) {
+		var root ityr.GPtr[uts.Node]
+		s.RootExec(func(c *ityr.Ctx) {
+			root, want = uts.Build(c, tree)
+		})
+		t0 := s.Now()
+		s.RootExec(func(c *ityr.Ctx) {
+			nodes = uts.Traverse(c, root)
+		})
+		if s.Rank() == 0 {
+			elapsed = s.Now() - t0
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return elapsed, rt, nodes == want && nodes > 0
+}
+
+// FaultFMMRun evaluates the scale's small FMM instance under plan and
+// verifies the simulated potentials bit-exactly against the host
+// evaluation of the same tree — fault injection perturbs timing, never
+// arithmetic, so exact equality must hold.
+func FaultFMMRun(sc Scale, plan *fault.Plan) (sim.Time, *ityr.Runtime, bool) {
+	p := fmm.Params{N: sc.FMMSmallN, Theta: sc.FMMTheta, NCrit: 32, NSpawn: sc.FMMNSpawn, Seed: 21}
+	rt := ityr.NewRuntime(faultConfig(sc, plan))
+	var elapsed sim.Time
+	var got []fmm.Body
+	err := rt.Run(func(s *ityr.SPMD) {
+		var pr fmm.Problem
+		if s.Rank() == 0 {
+			pr = fmm.Setup(s, p)
+		}
+		s.Barrier()
+		t0 := s.Now()
+		s.RootExec(func(c *ityr.Ctx) {
+			pr.Evaluate(c)
+		})
+		if s.Rank() == 0 {
+			elapsed = s.Now() - t0
+			b, gerr := ityr.GetSlice(s, pr.Bodies)
+			if gerr != nil {
+				panic(gerr)
+			}
+			got = b
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	p = p.WithDefaults()
+	ref := fmm.GenBodiesDist(p.N, p.Seed, p.Dist)
+	cells := fmm.BuildTree(ref, p.NCrit)
+	fmm.EvaluateHost(cells, ref, p.Theta)
+	ok := len(got) == len(ref)
+	for i := 0; ok && i < len(got); i++ {
+		if got[i].P != ref[i].P || got[i].AX != ref[i].AX ||
+			got[i].AY != ref[i].AY || got[i].AZ != ref[i].AZ {
+			ok = false
+		}
+	}
+	return elapsed, rt, ok
+}
+
+// faultApps maps app names to their verified runners.
+var faultApps = []struct {
+	Name string
+	Run  func(Scale, *fault.Plan) (sim.Time, *ityr.Runtime, bool)
+}{
+	{"cilksort", FaultCilksortRun},
+	{"utsmem", FaultUTSRun},
+	{"fmm", FaultFMMRun},
+}
+
+// faultRow assembles one report row from a finished run.
+func faultRow(plan, app string, t, clean sim.Time, rt *ityr.Runtime, ok bool) FaultRun {
+	run := FaultRun{
+		Plan: plan, App: app,
+		TimeNs: int64(t), CleanNs: int64(clean), Verified: ok,
+	}
+	if clean > 0 {
+		run.Slowdown = float64(t) / float64(clean)
+	}
+	cs := rt.Comm().Stats()
+	run.Retries = cs.Retries
+	run.RetryStallNs = cs.RetryNs
+	ss := rt.Sched().Stats
+	run.Steals = ss.Steals
+	run.FailedSteals = ss.FailedSteals
+	run.StealTimeouts = ss.StealTimeouts
+	run.Blacklists = ss.Blacklists
+	run.BlacklistSkips = ss.BlacklistSkips
+	if inj := rt.Injector(); inj != nil {
+		run.InjectedFailures = inj.Stats().Injected
+	}
+	return run
+}
+
+// FaultBench runs every app clean and then under each canned fault plan,
+// printing a table to w and returning the report. Every run's output is
+// verified; an unverified run is a harness bug, surfaced in the table
+// and the report rather than silently dropped.
+func FaultBench(w io.Writer, sc Scale) FaultReport {
+	rep := FaultReport{
+		Schema: "itoyori-faults/v1", Scale: sc.Name, Seed: faultSeed,
+		Ranks: sc.FixedRanks, CoresPerNode: sc.CoresPerNode,
+	}
+	plans := fault.CannedPlans(faultSeed)
+	fmt.Fprintf(w, "\n== Fault plans: cilksort/utsmem/fmm on %d ranks (%d/node), seed %d ==\n",
+		sc.FixedRanks, sc.CoresPerNode, faultSeed)
+	fmt.Fprintf(w, "%-10s %-16s %12s %9s %9s %8s %8s %6s  %s\n",
+		"app", "plan", "time (ms)", "slowdown", "injected", "retries", "stall ms", "blist", "verified")
+	for _, app := range faultApps {
+		cleanT, cleanRT, cleanOK := app.Run(sc, nil)
+		row := faultRow("clean", app.Name, cleanT, cleanT, cleanRT, cleanOK)
+		rep.Runs = append(rep.Runs, row)
+		printFaultRow(w, row)
+		for i := range plans {
+			t, rt, ok := app.Run(sc, &plans[i])
+			row := faultRow(plans[i].Name, app.Name, t, cleanT, rt, ok)
+			rep.Runs = append(rep.Runs, row)
+			printFaultRow(w, row)
+		}
+	}
+	return rep
+}
+
+func printFaultRow(w io.Writer, r FaultRun) {
+	verdict := "ok"
+	if !r.Verified {
+		verdict = "FAILED"
+	}
+	fmt.Fprintf(w, "%-10s %-16s %12.3f %8.2fx %9d %8d %8.3f %6d  %s\n",
+		r.App, r.Plan, float64(r.TimeNs)/1e6, r.Slowdown,
+		r.InjectedFailures, r.Retries, float64(r.RetryStallNs)/1e6,
+		r.Blacklists, verdict)
+}

@@ -21,9 +21,16 @@ import (
 func kernelDigest(t *testing.T, sc Scale, pol ityr.Policy) string {
 	t.Helper()
 	cfg := runtimeConfig(sc.FixedRanks, sc.CoresPerNode, pol, 11)
+	return configDigest(t, cfg, sc.CilksortN, sc.Cutoffs[0])
+}
+
+// configDigest is the digest body, parameterized over the full runtime
+// config so the fault-injection golden (fault_test.go) can reuse it with
+// an armed plan.
+func configDigest(t *testing.T, cfg ityr.Config, n, cutoff int64) string {
+	t.Helper()
 	cfg.Trace = true
 	rt := ityr.NewRuntime(cfg)
-	n, cutoff := sc.CilksortN, sc.Cutoffs[0]
 	var elapsed sim.Time
 	err := rt.Run(func(s *ityr.SPMD) {
 		var a, b ityr.GSpan[cilksort.Elem]

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 
+	"ityr/internal/fault"
 	"ityr/internal/metrics"
 	"ityr/internal/netmodel"
 	"ityr/internal/pgas"
@@ -48,6 +49,13 @@ type Config struct {
 	// while a checkout's remote fetch is in flight, the rank runs other
 	// ready tasks instead of stalling.
 	Overlap bool
+	// Faults, when non-nil, arms the deterministic fault-injection plan:
+	// link-degradation windows in the network model, transient RMA
+	// failures with retry/backoff, and straggler windows scheduled as
+	// engine callbacks. Runs with the same plan (same seed) are
+	// bit-identical; a nil plan leaves every hot path at a single
+	// nil-check.
+	Faults *fault.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +82,7 @@ type Runtime struct {
 	prof    *prof.Profiler
 	trace   *trace.Log
 	metrics *metrics.Registry
+	inj     *fault.Injector
 }
 
 // NewRuntime builds a runtime from cfg.
@@ -85,7 +94,29 @@ func NewRuntime(cfg Config) *Runtime {
 		net = *cfg.Net
 		net.CoresPerNode = cfg.CoresPerNode
 	}
+	var inj *fault.Injector
+	if cfg.Faults != nil {
+		inj = fault.NewInjector(*cfg.Faults, cfg.Ranks)
+		net.Perturb = inj // link-degradation windows
+	}
 	comm := rma.New(eng, cfg.Ranks, net)
+	if inj != nil {
+		comm.SetFaults(inj) // transient RMA failures
+		// Straggler windows: engine callbacks flip each rank's time scale
+		// at the window boundaries (scheduled now, at virtual time zero,
+		// so they precede all process resumes at the same instants).
+		for _, sw := range inj.Plan().Stragglers {
+			if sw.Rank < 0 || sw.Rank >= cfg.Ranks {
+				continue
+			}
+			r := comm.Rank(sw.Rank)
+			num, den := sw.Num, sw.Den
+			eng.At(sw.From, func() { r.SetSlowdown(num, den) })
+			if sw.To > sw.From {
+				eng.At(sw.To, func() { r.SetSlowdown(0, 0) })
+			}
+		}
+	}
 	pr := prof.New(cfg.Ranks)
 	space := pgas.New(comm, cfg.Pgas, pr)
 	var tl *trace.Log
@@ -93,6 +124,7 @@ func NewRuntime(cfg Config) *Runtime {
 		tl = trace.NewRing(cfg.TraceRing)
 		tl.CoresPerNode = cfg.CoresPerNode
 		space.TraceLog = tl
+		comm.SetTrace(tl)
 	}
 	reg := metrics.NewRegistry()
 	reg.Label("policy", space.Policy().String())
@@ -113,8 +145,12 @@ func NewRuntime(cfg Config) *Runtime {
 			}
 		}
 	}
-	return &Runtime{cfg: cfg, eng: eng, comm: comm, space: space, sched: sched, prof: pr, trace: tl, metrics: reg}
+	return &Runtime{cfg: cfg, eng: eng, comm: comm, space: space, sched: sched,
+		prof: pr, trace: tl, metrics: reg, inj: inj}
 }
+
+// Injector returns the armed fault injector (nil unless Config.Faults).
+func (rt *Runtime) Injector() *fault.Injector { return rt.inj }
 
 // Trace returns the event log (nil unless Config.Trace was set).
 func (rt *Runtime) Trace() *trace.Log { return rt.trace }
@@ -145,6 +181,8 @@ func (rt *Runtime) MetricsSnapshot() metrics.Snapshot {
 	reg.Counter("rma_put_bytes").Set(cs.PutBytes)
 	reg.Counter("rma_flush_waits").Set(cs.FlushWaits)
 	reg.Counter("rma_barriers").Set(cs.Barriers)
+	reg.Counter("rma_retries").Set(cs.Retries)
+	reg.Counter("rma_retry_stall_ns").Set(cs.RetryNs)
 
 	ps := rt.space.Stats
 	reg.Counter("pgas_checkout_calls").Set(ps.CheckoutCalls)
@@ -166,6 +204,20 @@ func (rt *Runtime) MetricsSnapshot() metrics.Snapshot {
 	reg.Counter("uth_failed_steals").Set(us.FailedSteals)
 	reg.Counter("uth_comm_waits").Set(us.CommWaits)
 	reg.Counter("uth_migrations").Set(us.Migrations)
+	reg.Counter("uth_steal_timeouts").Set(us.StealTimeouts)
+	reg.Counter("uth_steal_blacklists").Set(us.Blacklists)
+	reg.Counter("uth_blacklist_skips").Set(us.BlacklistSkips)
+
+	// Fault-plan observability: surfaced only when a plan is armed, so
+	// fault-free snapshots keep their historical key set.
+	if rt.inj != nil {
+		fs := rt.inj.Stats()
+		reg.Counter("fault_injected_failures").Set(fs.Injected)
+		reg.Counter("fault_budget_exhausted_ranks").Set(fs.BudgetExhausted)
+		for i, v := range rt.comm.RetriesByRank() {
+			reg.Counter(fmt.Sprintf("rma_retries_rank_%02d", i)).Set(v)
+		}
+	}
 
 	return reg.Snapshot()
 }

@@ -1,0 +1,313 @@
+// Package fault provides seeded, deterministic fault injection for the
+// simulated Itoyori runtime.
+//
+// A Plan describes every fault a run will experience: link-degradation
+// windows (latency spikes, jitter, bandwidth collapse), transient one-sided
+// operation failures (timeout + retry), and straggler windows (a rank's
+// compute advancing slower than nominal). An Injector executes a plan.
+// Every decision the injector makes — does this op fail, how much jitter
+// does this transfer get — is a pure function of the plan's seed and a
+// per-rank operation sequence number, never of host state. Because the
+// simulation kernel itself is deterministic, the per-rank call order is
+// reproducible, so two runs with the same plan produce bit-identical
+// virtual schedules (pinned by the seeded-fault golden test in
+// internal/bench).
+//
+// The package deliberately imports only internal/sim. The communication
+// layers reach it the other way around: netmodel declares a Perturber
+// interface that *Injector satisfies (link faults), and rma holds a
+// *Injector directly (transient-failure faults). Stragglers are armed by
+// internal/core as engine callbacks at window boundaries.
+package fault
+
+import "ityr/internal/sim"
+
+// LinkWindow degrades communication on matching rank pairs during a window
+// of virtual time.
+type LinkWindow struct {
+	// From and To bound the active window [From, To). To <= 0 means the
+	// window never closes.
+	From, To sim.Time
+	// Src and Dst filter the origin and target rank; -1 matches any rank.
+	Src, Dst int
+	// ExtraLatency is added to every matching transfer or atomic.
+	ExtraLatency sim.Time
+	// Jitter adds a deterministic pseudo-random extra in [0, Jitter].
+	Jitter sim.Time
+	// SlowFactor multiplies the base wire time when > 1 (bandwidth
+	// collapse: 4 means the link runs at a quarter of nominal speed).
+	SlowFactor float64
+}
+
+// RMAFaults makes one-sided operations (Get/Put/atomics) fail transiently.
+// A failed attempt costs the origin a deadline expiry (Timeout) plus a
+// capped exponential backoff with seeded jitter, and is then retried by
+// the RMA layer. Failures are injected before the operation takes effect,
+// so a retried operation applies its memory effect exactly once.
+type RMAFaults struct {
+	// FailProb is the per-attempt failure probability (0 disables).
+	FailProb float64
+	// From and To bound the active window [From, To); To <= 0 = open.
+	From, To sim.Time
+	// Timeout is the deadline charged per failed attempt.
+	Timeout sim.Time
+	// BackoffMin and BackoffMax bound the exponential backoff.
+	BackoffMin, BackoffMax sim.Time
+	// MaxAttempts is the fail-stop bound: an op still failing after this
+	// many attempts panics (the simulated equivalent of a fatal MPI error).
+	MaxAttempts int
+	// RetryBudget bounds injected failures per origin rank; once a rank
+	// exhausts its budget the injector stops failing its ops (and counts
+	// the exhaustion), guaranteeing forward progress under any FailProb.
+	// 0 means unlimited.
+	RetryBudget uint64
+}
+
+// StragglerWindow slows one rank's compute during a window: every duration
+// the rank's processes charge is stretched by Num/Den (10/1 = 10× slower).
+type StragglerWindow struct {
+	Rank     int
+	From, To sim.Time // [From, To); To <= 0 = until the end of the run
+	Num, Den int64
+}
+
+// Plan is a complete, reproducible fault schedule.
+type Plan struct {
+	Name       string
+	Seed       int64
+	Links      []LinkWindow
+	RMA        RMAFaults
+	Stragglers []StragglerWindow
+}
+
+func (p Plan) withDefaults() Plan {
+	if p.RMA.Timeout == 0 {
+		p.RMA.Timeout = 8 * sim.Microsecond
+	}
+	if p.RMA.BackoffMin == 0 {
+		p.RMA.BackoffMin = 2 * sim.Microsecond
+	}
+	if p.RMA.BackoffMax == 0 {
+		p.RMA.BackoffMax = 128 * sim.Microsecond
+	}
+	if p.RMA.MaxAttempts == 0 {
+		p.RMA.MaxAttempts = 64
+	}
+	return p
+}
+
+// Stats counts injector activity (host-side bookkeeping only).
+type Stats struct {
+	// Injected is the number of transient failures injected.
+	Injected uint64
+	// BudgetExhausted is the number of ranks whose retry budget ran out.
+	BudgetExhausted uint64
+}
+
+// Injector executes a Plan for a fixed number of ranks. It must only be
+// used from simulation goroutines (the kernel's one-goroutine-at-a-time
+// invariant makes its state single-threaded).
+type Injector struct {
+	plan      Plan
+	rmaSeq    []uint64 // per-origin failure-decision counter
+	linkSeq   []uint64 // per-origin jitter counter
+	injected  []uint64 // per-origin injected failures (budget accounting)
+	exhausted []bool
+	stats     Stats
+}
+
+// NewInjector builds an injector for a plan over the given rank count,
+// applying plan defaults (timeout 8µs, backoff 2µs..128µs, 64 attempts).
+func NewInjector(p Plan, ranks int) *Injector {
+	return &Injector{
+		plan:      p.withDefaults(),
+		rmaSeq:    make([]uint64, ranks),
+		linkSeq:   make([]uint64, ranks),
+		injected:  make([]uint64, ranks),
+		exhausted: make([]bool, ranks),
+	}
+}
+
+// Plan returns the plan (with defaults applied).
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Stats returns cumulative injection counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// InjectedByRank returns each origin rank's injected-failure count.
+func (in *Injector) InjectedByRank() []uint64 {
+	return append([]uint64(nil), in.injected...)
+}
+
+func inWindow(now, from, to sim.Time) bool {
+	return now >= from && (to <= 0 || now < to)
+}
+
+// splitmix is the splitmix64 finalizer: a cheap, well-mixed hash.
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// hash derives a deterministic 64-bit value from the plan seed, a stream
+// discriminator and three inputs. No allocation: it sits on hot paths.
+func (in *Injector) hash(stream, a, b, seq uint64) uint64 {
+	h := splitmix(uint64(in.plan.Seed) ^ stream)
+	h = splitmix(h + a)
+	h = splitmix(h + b)
+	return splitmix(h + seq)
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// FailRMA decides whether the next one-sided op from origin to target
+// fails transiently at virtual time now. Each call consumes one step of
+// origin's decision stream, so the outcome depends only on the seed and
+// the (deterministic) per-rank operation order.
+func (in *Injector) FailRMA(now sim.Time, origin, target int) bool {
+	r := &in.plan.RMA
+	if r.FailProb <= 0 || !inWindow(now, r.From, r.To) {
+		return false
+	}
+	seq := in.rmaSeq[origin]
+	in.rmaSeq[origin] = seq + 1
+	if r.RetryBudget > 0 && in.injected[origin] >= r.RetryBudget {
+		if !in.exhausted[origin] {
+			in.exhausted[origin] = true
+			in.stats.BudgetExhausted++
+		}
+		return false
+	}
+	if unit(in.hash(1, uint64(origin), uint64(target), seq)) >= r.FailProb {
+		return false
+	}
+	in.injected[origin]++
+	in.stats.Injected++
+	return true
+}
+
+// Timeout returns the deadline charged per failed attempt.
+func (in *Injector) Timeout() sim.Time { return in.plan.RMA.Timeout }
+
+// MaxAttempts returns the fail-stop attempt bound.
+func (in *Injector) MaxAttempts() int { return in.plan.RMA.MaxAttempts }
+
+// Backoff returns the backoff for the attempt-th consecutive failure
+// (attempt counts from 1): capped exponential growth from BackoffMin to
+// BackoffMax plus a deterministic jitter of up to a quarter of the base.
+func (in *Injector) Backoff(origin, attempt int) sim.Time {
+	r := &in.plan.RMA
+	d := r.BackoffMin
+	for i := 1; i < attempt && d < r.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > r.BackoffMax {
+		d = r.BackoffMax
+	}
+	if jmax := uint64(d / 4); jmax > 0 {
+		h := in.hash(2, uint64(origin), uint64(attempt), in.rmaSeq[origin])
+		d += sim.Time(h % (jmax + 1))
+	}
+	return d
+}
+
+// TransferExtra implements netmodel.Perturber: the extra wire time a
+// transfer of n bytes from a to b issued at now suffers under the plan's
+// link windows. base is the unperturbed wire time (so SlowFactor can
+// scale it without knowing the bandwidth model).
+func (in *Injector) TransferExtra(now sim.Time, a, b, n int, base sim.Time) sim.Time {
+	_ = n // reserved for size-dependent faults
+	return in.linkExtra(now, a, b, base)
+}
+
+// AtomicExtra implements netmodel.Perturber for remote atomics.
+func (in *Injector) AtomicExtra(now sim.Time, a, b int, base sim.Time) sim.Time {
+	return in.linkExtra(now, a, b, base)
+}
+
+func (in *Injector) linkExtra(now sim.Time, a, b int, base sim.Time) sim.Time {
+	var extra sim.Time
+	for i := range in.plan.Links {
+		lw := &in.plan.Links[i]
+		if !inWindow(now, lw.From, lw.To) {
+			continue
+		}
+		if lw.Src >= 0 && lw.Src != a {
+			continue
+		}
+		if lw.Dst >= 0 && lw.Dst != b {
+			continue
+		}
+		extra += lw.ExtraLatency
+		if lw.SlowFactor > 1 {
+			extra += sim.Time(float64(base) * (lw.SlowFactor - 1))
+		}
+		if lw.Jitter > 0 {
+			seq := in.linkSeq[a]
+			in.linkSeq[a] = seq + 1
+			h := in.hash(3, uint64(a), uint64(b), seq)
+			extra += sim.Time(h % uint64(lw.Jitter+1))
+		}
+	}
+	return extra
+}
+
+// Canned plans: the three fault scenarios `itybench -faults` and the fault
+// test suite run. Windows are wide or open-ended so the plans bite at
+// every benchmark scale.
+
+// PlanLinkDegraded injects cluster-wide link degradation: an early
+// latency-spike window with jitter, then an open-ended bandwidth collapse.
+func PlanLinkDegraded(seed int64) Plan {
+	return Plan{
+		Name: "link-degraded",
+		Seed: seed,
+		Links: []LinkWindow{
+			{From: 50 * sim.Microsecond, To: 2 * sim.Millisecond, Src: -1, Dst: -1,
+				ExtraLatency: 4 * sim.Microsecond, Jitter: 2 * sim.Microsecond},
+			{From: 2 * sim.Millisecond, To: 0, Src: -1, Dst: -1,
+				SlowFactor: 4, Jitter: 500 * sim.Nanosecond},
+		},
+	}
+}
+
+// PlanFlakyRMA makes 2% of one-sided operations time out and retry.
+func PlanFlakyRMA(seed int64) Plan {
+	return Plan{
+		Name: "flaky-rma",
+		Seed: seed,
+		RMA: RMAFaults{
+			FailProb:   0.02,
+			Timeout:    8 * sim.Microsecond,
+			BackoffMin: 2 * sim.Microsecond,
+			BackoffMax: 64 * sim.Microsecond,
+		},
+	}
+}
+
+// PlanStraggler slows rank 1 to a tenth of nominal speed for the whole
+// run and adds latency toward it (its NIC backs up), the scenario the
+// scheduler's steal-victim blacklisting exists for.
+func PlanStraggler(seed int64) Plan {
+	return Plan{
+		Name: "straggler",
+		Seed: seed,
+		Stragglers: []StragglerWindow{
+			{Rank: 1, From: 0, To: 0, Num: 10, Den: 1},
+		},
+		Links: []LinkWindow{
+			{From: 0, To: 0, Src: -1, Dst: 1, ExtraLatency: 3 * sim.Microsecond},
+		},
+	}
+}
+
+// CannedPlans returns the three standard plans, all derived from seed.
+func CannedPlans(seed int64) []Plan {
+	return []Plan{PlanLinkDegraded(seed), PlanFlakyRMA(seed), PlanStraggler(seed)}
+}

@@ -1,0 +1,170 @@
+package fault
+
+import (
+	"testing"
+
+	"ityr/internal/sim"
+)
+
+// TestFailRMADeterministic: two injectors over the same plan replay the
+// same decision stream; a different seed gives a different stream.
+func TestFailRMADeterministic(t *testing.T) {
+	mk := func(seed int64) []bool {
+		in := NewInjector(PlanFlakyRMA(seed), 4)
+		var out []bool
+		for i := 0; i < 2000; i++ {
+			out = append(out, in.FailRMA(sim.Time(i), i%4, (i+1)%4))
+		}
+		return out
+	}
+	a, b := mk(7), mk(7)
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical-seed injectors", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Fatalf("2%% FailProb injected nothing in 2000 ops")
+	}
+	c := mk(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatalf("seed change did not change the decision stream")
+	}
+}
+
+// TestFailRMAWindow: no failures outside [From, To).
+func TestFailRMAWindow(t *testing.T) {
+	p := PlanFlakyRMA(7)
+	p.RMA.FailProb = 1
+	p.RMA.From = 100
+	p.RMA.To = 200
+	in := NewInjector(p, 2)
+	for _, tc := range []struct {
+		now  sim.Time
+		want bool
+	}{{0, false}, {99, false}, {100, true}, {199, true}, {200, false}} {
+		if got := in.FailRMA(tc.now, 0, 1); got != tc.want {
+			t.Errorf("FailRMA at t=%d = %v, want %v", tc.now, got, tc.want)
+		}
+	}
+}
+
+// TestRetryBudget: per-origin budgets stop injection and count exhaustion
+// exactly once per rank.
+func TestRetryBudget(t *testing.T) {
+	p := PlanFlakyRMA(7)
+	p.RMA.FailProb = 1
+	p.RMA.RetryBudget = 3
+	in := NewInjector(p, 2)
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if in.FailRMA(0, 0, 1) {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Errorf("rank 0 injected %d failures, want budget 3", fails)
+	}
+	if got := in.Stats().BudgetExhausted; got != 1 {
+		t.Errorf("BudgetExhausted = %d, want 1", got)
+	}
+	if !in.FailRMA(0, 1, 0) {
+		t.Errorf("rank 1's budget should be untouched")
+	}
+	if got := in.InjectedByRank(); got[0] != 3 || got[1] != 1 {
+		t.Errorf("InjectedByRank = %v, want [3 1]", got)
+	}
+}
+
+// TestBackoffBounds: exponential growth from BackoffMin, capped at
+// BackoffMax plus a quarter of jitter, never below BackoffMin.
+func TestBackoffBounds(t *testing.T) {
+	in := NewInjector(PlanFlakyRMA(7), 2) // backoff 2µs .. 64µs
+	min, max := 2*sim.Microsecond, 64*sim.Microsecond
+	prevBase := sim.Time(0)
+	for attempt := 1; attempt <= 12; attempt++ {
+		d := in.Backoff(0, attempt)
+		if d < min {
+			t.Errorf("attempt %d: backoff %d below min %d", attempt, d, min)
+		}
+		if lim := max + max/4; d > lim {
+			t.Errorf("attempt %d: backoff %d above cap+jitter %d", attempt, d, lim)
+		}
+		base := min << (attempt - 1)
+		if base > max {
+			base = max
+		}
+		if d < base {
+			t.Errorf("attempt %d: backoff %d below exponential base %d", attempt, d, base)
+		}
+		if base < prevBase {
+			t.Errorf("exponential base decreased")
+		}
+		prevBase = base
+	}
+}
+
+// TestLinkExtraWindows: latency, slow-factor and pair filters compose, and
+// nothing applies outside the window.
+func TestLinkExtraWindows(t *testing.T) {
+	p := Plan{Seed: 7, Links: []LinkWindow{
+		{From: 100, To: 200, Src: -1, Dst: -1, ExtraLatency: 10},
+		{From: 0, To: 0, Src: 2, Dst: 3, SlowFactor: 3},
+	}}
+	in := NewInjector(p, 4)
+	if got := in.TransferExtra(50, 0, 1, 64, 1000); got != 0 {
+		t.Errorf("before window: extra = %d, want 0", got)
+	}
+	if got := in.TransferExtra(150, 0, 1, 64, 1000); got != 10 {
+		t.Errorf("inside latency window: extra = %d, want 10", got)
+	}
+	// 2→3 matches the open-ended slow link: base*(3-1) = 2000, plus the
+	// latency window when inside it.
+	if got := in.TransferExtra(150, 2, 3, 64, 1000); got != 2010 {
+		t.Errorf("slow link inside window: extra = %d, want 2010", got)
+	}
+	if got := in.TransferExtra(500, 2, 3, 64, 1000); got != 2000 {
+		t.Errorf("slow link after window: extra = %d, want 2000", got)
+	}
+	if got := in.AtomicExtra(500, 3, 2, 1000); got != 0 {
+		t.Errorf("reverse direction should not match Src/Dst filter: got %d", got)
+	}
+}
+
+// TestLinkJitterDeterministic: jitter is bounded by the window's Jitter
+// and replays identically for identical injectors.
+func TestLinkJitterDeterministic(t *testing.T) {
+	p := Plan{Seed: 7, Links: []LinkWindow{
+		{From: 0, To: 0, Src: -1, Dst: -1, Jitter: 100},
+	}}
+	a, b := NewInjector(p, 2), NewInjector(p, 2)
+	varied := false
+	var prev sim.Time = -1
+	for i := 0; i < 100; i++ {
+		ea := a.TransferExtra(sim.Time(i), 0, 1, 64, 1000)
+		eb := b.TransferExtra(sim.Time(i), 0, 1, 64, 1000)
+		if ea != eb {
+			t.Fatalf("op %d: jitter differs across identical injectors (%d vs %d)", i, ea, eb)
+		}
+		if ea < 0 || ea > 100 {
+			t.Fatalf("op %d: jitter %d outside [0, 100]", i, ea)
+		}
+		if prev >= 0 && ea != prev {
+			varied = true
+		}
+		prev = ea
+	}
+	if !varied {
+		t.Errorf("jitter never varied over 100 ops")
+	}
+}

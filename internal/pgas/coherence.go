@@ -96,6 +96,15 @@ func (l *Local) AcquireWith(h ReleaseHandler) {
 				l.writeBackAll(prof.CatLazyRelease)
 			}
 		} else {
+			// Fault-injection audit: this polling loop is the coherence
+			// protocol's only remote-atomic sequence, and it stays correct
+			// under retried one-sided ops. GetUint64 is a read — re-issuing
+			// it only re-samples the epoch, and the loop already tolerates
+			// stale values by polling again. MaxUint64 is monotonic: applying
+			// it once after injected failures (the RMA layer retries before
+			// the memory effect, so effects land exactly once) or even twice
+			// would leave requestEpoch at the same max. Retries here only
+			// stretch virtual time, which this backoff loop absorbs.
 			first := true
 			backoff := s.comm.Net().AtomicRTT
 			for {

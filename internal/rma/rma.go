@@ -8,14 +8,54 @@
 // payload movement itself happens eagerly in host memory, which is sound
 // because Itoyori requires data-race-free programs — no conflicting access
 // can overlap an in-flight transfer.
+//
+// # Errors versus panics
+//
+// Window access validation distinguishes two cases. Programmer-error
+// invariants — a rank index or byte range that no correct program can
+// produce, because the layers above (pgas) validate user input before any
+// window op — panic, but they panic with a typed error value wrapped
+// around ErrRankOutOfRange or ErrOutOfRange, so a recover() (or a direct
+// CheckAccess call) can classify the failure with errors.Is. Runtime
+// conditions a correct program can hit (a fault plan exhausting an op's
+// retry attempts) also surface as wrapped typed errors, via panic at the
+// fail-stop point — the simulated equivalent of a fatal MPI error.
+//
+// # Fault injection
+//
+// When a fault.Injector is armed (SetFaults), one-sided ops may fail
+// transiently before taking effect: the origin is charged a timeout plus a
+// capped exponential backoff with seeded jitter, then retries. Because the
+// failure is injected before the memory effect, a retried Get/Put/
+// CompareAndSwap/FetchAndAdd applies its effect exactly once — callers
+// need no idempotence of their own, only tolerance of the added latency.
+// With no injector armed every fault path is a single nil-check and the
+// charged costs are bit-identical to the fault-free model (pinned by the
+// golden digest and an allocs test).
 package rma
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
+	"ityr/internal/fault"
 	"ityr/internal/netmodel"
 	"ityr/internal/sim"
+	"ityr/internal/trace"
+)
+
+// Typed validation and failure errors. Panics raised by window ops wrap
+// these, so both errors.Is on a CheckAccess result and a recover() at a
+// test boundary can classify them.
+var (
+	// ErrRankOutOfRange reports a target rank outside the communicator.
+	ErrRankOutOfRange = errors.New("rma: target rank out of range")
+	// ErrOutOfRange reports a byte range outside the target's segment.
+	ErrOutOfRange = errors.New("rma: access outside window segment")
+	// ErrRetriesExhausted reports an op that kept failing past the fault
+	// plan's MaxAttempts fail-stop bound.
+	ErrRetriesExhausted = errors.New("rma: retries exhausted")
 )
 
 // Comm is a communicator over a fixed set of ranks.
@@ -23,6 +63,9 @@ type Comm struct {
 	eng   *sim.Engine
 	net   netmodel.Params
 	ranks []*Rank
+
+	inj    *fault.Injector // nil = no fault injection
+	tracer *trace.Log      // nil = no retry spans
 
 	barrierWaiting int
 	barrierProcs   []*sim.Proc
@@ -33,16 +76,35 @@ type Comm struct {
 	atomicOps          uint64
 	flushWaits         uint64
 	barriers           uint64
+	retries            uint64
+	retryNs            uint64
+	retriesByRank      []uint64
 }
 
 // New creates a communicator with n ranks on engine e using network model p.
 func New(e *sim.Engine, n int, p netmodel.Params) *Comm {
-	c := &Comm{eng: e, net: p}
+	c := &Comm{eng: e, net: p, retriesByRank: make([]uint64, n)}
 	c.ranks = make([]*Rank, n)
 	for i := range c.ranks {
 		c.ranks[i] = &Rank{id: i, c: c}
 	}
 	return c
+}
+
+// SetFaults arms fault injection: one-sided ops may transiently fail and
+// retry per the injector's plan. Call before the simulation starts; a nil
+// injector (the default) keeps every fault path to a single nil-check.
+func (c *Comm) SetFaults(in *fault.Injector) { c.inj = in }
+
+// Faults returns the armed injector (nil without fault injection).
+func (c *Comm) Faults() *fault.Injector { return c.inj }
+
+// SetTrace attaches an event log so retries appear as KRetry spans.
+func (c *Comm) SetTrace(tl *trace.Log) { c.tracer = tl }
+
+// RetriesByRank returns a copy of the per-origin-rank retry counts.
+func (c *Comm) RetriesByRank() []uint64 {
+	return append([]uint64(nil), c.retriesByRank...)
 }
 
 // Size returns the number of ranks.
@@ -63,6 +125,8 @@ type Stats struct {
 	GetBytes, PutBytes        uint64
 	FlushWaits                uint64 // flushes that actually waited on outstanding ops
 	Barriers                  uint64 // completed barrier episodes
+	Retries                   uint64 // transient failures retried (fault injection)
+	RetryNs                   uint64 // virtual time lost to retry timeouts + backoff
 }
 
 // Stats returns cumulative traffic counters.
@@ -71,6 +135,7 @@ func (c *Comm) Stats() Stats {
 		GetOps: c.getOps, PutOps: c.putOps, AtomicOps: c.atomicOps,
 		GetBytes: c.getBytes, PutBytes: c.putBytes,
 		FlushWaits: c.flushWaits, Barriers: c.barriers,
+		Retries: c.retries, RetryNs: c.retryNs,
 	}
 }
 
@@ -84,6 +149,10 @@ type Rank struct {
 
 	nicFree sim.Time // when the NIC finishes serializing already-issued messages
 	pending sim.Time // completion time of the latest outstanding nonblocking op
+
+	// slowNum/slowDen is the rank's straggler time scale (0 = nominal),
+	// propagated to whichever process currently drives the rank.
+	slowNum, slowDen int64
 }
 
 // ID returns the rank number.
@@ -93,8 +162,23 @@ func (r *Rank) ID() int { return r.id }
 func (r *Rank) Comm() *Comm { return r.c }
 
 // Attach binds the simulated process that drives this rank. It must be
-// called before any communication from the rank.
-func (r *Rank) Attach(p *sim.Proc) { r.proc = p }
+// called before any communication from the rank. The rank's straggler
+// scale (if any) follows the binding: a thread migrating onto a slow rank
+// slows down, and sheds the scale when it next attaches elsewhere.
+func (r *Rank) Attach(p *sim.Proc) {
+	r.proc = p
+	p.SetTimeScale(r.slowNum, r.slowDen)
+}
+
+// SetSlowdown makes every duration charged on this rank advance num/den
+// times slower (10/1 = a 10× straggler); num <= 0 restores nominal speed.
+// Safe to call from engine callbacks at fault-window boundaries.
+func (r *Rank) SetSlowdown(num, den int64) {
+	r.slowNum, r.slowDen = num, den
+	if r.proc != nil {
+		r.proc.SetTimeScale(num, den)
+	}
+}
 
 // Proc returns the driving process.
 func (r *Rank) Proc() *sim.Proc { return r.proc }
@@ -102,10 +186,61 @@ func (r *Rank) Proc() *sim.Proc { return r.proc }
 // Node returns the node hosting this rank.
 func (r *Rank) Node() int { return r.c.net.Node(r.id) }
 
+// retryFaults injects transient failures for a one-sided op from this
+// rank to target, per the armed fault plan. Each failed attempt charges
+// the plan's timeout plus a capped, seeded exponential backoff, records a
+// KRetry span and the retry counters, and tries again. Failures are
+// injected before the op's memory effect, so the caller applies its
+// effect exactly once. An op still failing after MaxAttempts panics with
+// a wrapped ErrRetriesExhausted (fail-stop). Without an injector this is
+// a single nil-check.
+func (r *Rank) retryFaults(target int) {
+	in := r.c.inj
+	if in == nil || target == r.id {
+		return
+	}
+	attempt := 0
+	for in.FailRMA(r.proc.Now(), r.id, target) {
+		attempt++
+		t0 := r.proc.Now()
+		wait := in.Timeout() + in.Backoff(r.id, attempt)
+		r.proc.Advance(wait)
+		d := r.proc.Now() - t0 // straggler scaling may stretch the wait
+		r.c.retries++
+		r.c.retriesByRank[r.id]++
+		r.c.retryNs += uint64(d)
+		if r.c.tracer != nil {
+			r.c.tracer.RecSpan(t0, d, r.id, trace.KRetry, int64(target), int64(attempt))
+		}
+		if attempt >= in.MaxAttempts() {
+			panic(fmt.Errorf("%w: rank %d op to rank %d failed %d attempts under plan %q",
+				ErrRetriesExhausted, r.id, target, attempt, in.Plan().Name))
+		}
+	}
+}
+
+// ChargeAtomic charges the full origin-side cost of one remote atomic to
+// target: fault-injected retries, then the (possibly perturbed) atomic
+// round trip. Exported for the threading layer, whose steal protocol
+// performs its own deque compare-and-swap outside any window.
+func (r *Rank) ChargeAtomic(target int) {
+	r.retryFaults(target)
+	r.proc.Advance(r.c.net.AtomicTimeAt(r.proc.Now(), r.id, target))
+}
+
+// ChargeTransfer charges the cost of a blocking nbytes transfer from
+// target (fault-injected retries, then the perturbed wire time). Exported
+// for the threading layer's stack fetch on a successful steal.
+func (r *Rank) ChargeTransfer(target, nbytes int) {
+	r.retryFaults(target)
+	r.proc.Advance(r.c.net.TransferTimeAt(r.proc.Now(), r.id, target, nbytes))
+}
+
 // issue models the origin-side cost and NIC serialization of a one-sided
 // data transfer to target, returning nothing; completion time is folded
 // into r.pending for the next Flush.
 func (r *Rank) issue(target, nbytes int) {
+	r.retryFaults(target)
 	r.proc.Advance(r.c.net.MsgOverhead)
 	now := r.proc.Now()
 	if target == r.id {
@@ -121,8 +256,13 @@ func (r *Rank) issue(target, nbytes int) {
 	if r.nicFree < now {
 		r.nicFree = now
 	}
-	r.nicFree += r.c.net.SerializationTime(r.id, target, nbytes)
-	done := r.nicFree + r.c.net.TransferTime(r.id, target, 0)
+	ser := r.c.net.SerializationTime(r.id, target, nbytes)
+	r.nicFree += ser
+	wire := r.c.net.TransferTime(r.id, target, 0)
+	// Link-degradation windows see the whole unperturbed wire occupancy
+	// (serialization + latency) as their base.
+	wire += r.c.net.TransferExtraAt(now, r.id, target, nbytes, ser+wire)
+	done := r.nicFree + wire
 	if done > r.pending {
 		r.pending = done
 	}
@@ -173,6 +313,7 @@ func (r *Rank) Barrier() {
 type Win struct {
 	c    *Comm
 	segs [][]byte
+	gens []uint64 // bumped when a Grow reallocates a segment's backing array
 }
 
 // NewWin creates a window where rank i exposes sizes[i] bytes. It is a
@@ -181,7 +322,7 @@ func (c *Comm) NewWin(sizes []int) *Win {
 	if len(sizes) != len(c.ranks) {
 		panic(fmt.Sprintf("rma: NewWin got %d sizes for %d ranks", len(sizes), len(c.ranks)))
 	}
-	w := &Win{c: c}
+	w := &Win{c: c, gens: make([]uint64, len(sizes))}
 	w.segs = make([][]byte, len(sizes))
 	for i, s := range sizes {
 		w.segs[i] = make([]byte, s)
@@ -199,28 +340,73 @@ func (c *Comm) NewUniformWin(size int) *Win {
 }
 
 // Seg returns rank i's raw segment. Direct access is only legitimate from
-// rank i itself or for setup/verification outside the simulation.
+// rank i itself or for setup/verification outside the simulation. Re-fetch
+// the segment rather than caching it across a Grow: a beyond-capacity Grow
+// reallocates the backing array, after which a cached slice still reads
+// the pre-Grow contents but no longer aliases the window (Generation
+// detects this).
 func (w *Win) Seg(i int) []byte { return w.segs[i] }
+
+// Generation returns how many times rank's segment has been reallocated
+// by Grow. A slice taken from Seg remains an alias of the live segment
+// exactly as long as the generation is unchanged — the regression handle
+// for stale-slice bugs.
+func (w *Win) Generation(rank int) uint64 { return w.gens[rank] }
 
 // Grow extends rank's segment to at least size bytes, preserving contents —
 // the equivalent of MPI_Win_create_dynamic + MPI_Win_attach for a heap that
-// grows on demand. Callers must not hold slices from Seg across a Grow.
+// grows on demand.
+//
+// Concurrent-epoch safety: window ops move payload eagerly at issue time,
+// so no in-flight transfer ever reads or writes the segment after Grow
+// returns — growing mid-flight cannot corrupt an outstanding op. Reads of
+// a just-grown segment by other ranks in the same epoch are well-defined
+// under the single-goroutine-at-a-time invariant: either the Grow fits
+// within the existing capacity, in which case the segment is extended in
+// place and every previously taken slice still aliases the same backing
+// array, or the backing array is reallocated (with doubled capacity, so
+// this is rare) and the generation counter is bumped; ops that re-resolve
+// the segment through Seg — as all window ops do — always see the live
+// array.
 func (w *Win) Grow(rank, size int) {
-	if len(w.segs[rank]) >= size {
+	cur := w.segs[rank]
+	if len(cur) >= size {
 		return
 	}
-	ns := make([]byte, size)
-	copy(ns, w.segs[rank])
+	if size <= cap(cur) {
+		w.segs[rank] = cur[:size]
+		return
+	}
+	newCap := 2 * cap(cur)
+	if newCap < size {
+		newCap = size
+	}
+	ns := make([]byte, size, newCap)
+	copy(ns, cur)
 	w.segs[rank] = ns
+	w.gens[rank]++
+}
+
+// CheckAccess validates a window access without performing it, returning
+// nil or an error wrapping ErrRankOutOfRange / ErrOutOfRange (test with
+// errors.Is). The window ops call it internally and panic with the
+// returned error: an invalid access is a programmer error by the time it
+// reaches this layer (pgas validates user input first), but the typed
+// value keeps the failure classifiable.
+func (w *Win) CheckAccess(target, off, n int) error {
+	if target < 0 || target >= len(w.segs) {
+		return fmt.Errorf("%w: rank %d of %d", ErrRankOutOfRange, target, len(w.segs))
+	}
+	if off < 0 || n < 0 || off+n > len(w.segs[target]) {
+		return fmt.Errorf("%w: [%d,%d) in %d-byte segment on rank %d",
+			ErrOutOfRange, off, off+n, len(w.segs[target]), target)
+	}
+	return nil
 }
 
 func (w *Win) check(target, off, n int) {
-	if target < 0 || target >= len(w.segs) {
-		panic(fmt.Sprintf("rma: target rank %d out of range", target))
-	}
-	if off < 0 || n < 0 || off+n > len(w.segs[target]) {
-		panic(fmt.Sprintf("rma: access [%d,%d) outside segment of %d bytes on rank %d",
-			off, off+n, len(w.segs[target]), target))
+	if err := w.CheckAccess(target, off, n); err != nil {
+		panic(err)
 	}
 }
 
@@ -280,7 +466,7 @@ func (w *Win) StoreLocalUint64(r *Rank, v uint64, off int) {
 // atomic followed by a flush.
 func (w *Win) CompareAndSwap(r *Rank, target, off int, old, new uint64) uint64 {
 	w.check(target, off, 8)
-	r.proc.Advance(w.c.net.AtomicTime(r.id, target))
+	r.ChargeAtomic(target)
 	prev := binary.LittleEndian.Uint64(w.segs[target][off:])
 	if prev == old {
 		binary.LittleEndian.PutUint64(w.segs[target][off:], new)
@@ -293,7 +479,7 @@ func (w *Win) CompareAndSwap(r *Rank, target, off int, old, new uint64) uint64 {
 // returns the previous value. Blocking.
 func (w *Win) FetchAndAdd(r *Rank, target, off int, delta uint64) uint64 {
 	w.check(target, off, 8)
-	r.proc.Advance(w.c.net.AtomicTime(r.id, target))
+	r.ChargeAtomic(target)
 	prev := binary.LittleEndian.Uint64(w.segs[target][off:])
 	binary.LittleEndian.PutUint64(w.segs[target][off:], prev+delta)
 	w.c.atomicOps++
@@ -307,7 +493,7 @@ func (w *Win) MaxUint64(r *Rank, target, off int, v uint64) uint64 {
 	for {
 		cur := binary.LittleEndian.Uint64(w.segs[target][off:])
 		if cur >= v {
-			r.proc.Advance(w.c.net.AtomicTime(r.id, target))
+			r.ChargeAtomic(target)
 			return cur
 		}
 		if prev := w.CompareAndSwap(r, target, off, cur, v); prev == cur {

@@ -333,6 +333,10 @@ type Proc struct {
 	dead    bool
 	parked  bool
 	permits int
+
+	// scaleNum/scaleDen stretch Advance durations (straggler modelling);
+	// scaleNum == 0 means nominal speed.
+	scaleNum, scaleDen int64
 }
 
 // Engine returns the engine this process belongs to.
@@ -357,6 +361,9 @@ func (p *Proc) Advance(d Time) {
 	if d < 0 {
 		panic("sim: negative Advance")
 	}
+	if p.scaleNum > 0 {
+		d = d * p.scaleNum / p.scaleDen
+	}
 	e := p.eng
 	if d > 0 && (len(e.queue) == 0 || e.queue[0].at > e.now+d) {
 		e.now += d
@@ -365,6 +372,21 @@ func (p *Proc) Advance(d Time) {
 	}
 	e.scheduleResume(p, e.now+d)
 	e.dispatch(p)
+}
+
+// SetTimeScale stretches every subsequent Advance duration by num/den,
+// modelling a process whose core runs slower than nominal (a straggler:
+// 10/1 means ten times slower). SetTimeScale(0, 0) — or any num <= 0 —
+// restores nominal speed. The scale applies at Advance time only; it never
+// reinterprets durations already charged, so it may be flipped mid-run
+// (e.g. from an engine callback at a fault-window boundary). Unlike most
+// Proc methods it touches only this process's fields, so it may be called
+// from any simulation goroutine or engine callback.
+func (p *Proc) SetTimeScale(num, den int64) {
+	if num > 0 && den <= 0 {
+		panic("sim: SetTimeScale with non-positive denominator")
+	}
+	p.scaleNum, p.scaleDen = num, den
 }
 
 // Park suspends the process until another process (or engine callback)

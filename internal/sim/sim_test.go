@@ -222,3 +222,46 @@ func TestMultipleWakesGrantMultiplePermits(t *testing.T) {
 		t.Fatalf("hits = %d, want 2", hits)
 	}
 }
+
+// TestSetTimeScale: a scaled proc's Advance charges num/den times the
+// requested duration (straggler modelling), and (0, 0) restores nominal.
+func TestSetTimeScale(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("scaled", func(p *Proc) {
+		p.SetTimeScale(10, 1)
+		p.Advance(100)
+		if p.Now() != 1000 {
+			t.Errorf("10x-scaled Advance(100) landed at %d, want 1000", p.Now())
+		}
+		p.SetTimeScale(3, 2)
+		p.Advance(100)
+		if p.Now() != 1150 {
+			t.Errorf("1.5x-scaled Advance(100) landed at %d, want 1150", p.Now())
+		}
+		p.SetTimeScale(0, 0)
+		p.Advance(100)
+		if p.Now() != 1250 {
+			t.Errorf("nominal Advance(100) landed at %d, want 1250", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetTimeScalePanicsOnBadDenominator documents the programmer-error
+// contract.
+func TestSetTimeScalePanicsOnBadDenominator(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("bad", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("SetTimeScale(1, 0) did not panic")
+			}
+		}()
+		p.SetTimeScale(1, 0)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -41,6 +41,14 @@ type Analysis struct {
 	// end of the trace. Nonzero means the trace is truncated (ring
 	// overwrote fork/join events) and CritPath is a lower bound.
 	LiveTasks int
+
+	// Resilience activity (all zero for fault-free runs): RMA retries and
+	// the virtual time their timeouts + backoff cost, and steal-victim
+	// blacklisting episodes with their total penalty-window time.
+	Retries       int
+	RetryTime     sim.Time
+	Blacklists    int
+	BlacklistTime sim.Time
 }
 
 // StealLatencyBounds are the histogram bucket bounds (virtual ns) used
@@ -109,6 +117,12 @@ func Analyze(l *Log, nranks int) Analysis {
 			a.FailedSteals++
 			steal[e.Rank] += e.Dur
 			failedLat.Observe(int64(e.Dur))
+		case KRetry:
+			a.Retries++
+			a.RetryTime += e.Dur
+		case KBlacklist:
+			a.Blacklists++
+			a.BlacklistTime += e.Dur
 		}
 	}
 
@@ -168,6 +182,13 @@ func (a Analysis) WriteReport(w io.Writer) {
 		fmt.Fprintf(w, "\nfailed-steal latency (ns): count %d  mean %.0f\n",
 			a.FailedStealLatency.Count,
 			float64(a.FailedStealLatency.Sum)/float64(a.FailedStealLatency.Count))
+	}
+	if a.Retries > 0 || a.Blacklists > 0 {
+		fmt.Fprintf(w, "\nresilience:\n")
+		fmt.Fprintf(w, "  rma retries        %8d  (%d ns timeout+backoff, %.1f%% of elapsed)\n",
+			a.Retries, a.RetryTime, pct(a.RetryTime, a.Elapsed))
+		fmt.Fprintf(w, "  victim blacklists  %8d  (%d ns of penalty windows)\n",
+			a.Blacklists, a.BlacklistTime)
 	}
 }
 
@@ -232,5 +253,36 @@ func CacheReport(w io.Writer, policy string, raw json.RawMessage) error {
 		snap.Counters["pgas_evictions"],
 		snap.Counters["pgas_writeback_ops"],
 		snap.Counters["pgas_writeback_bytes"])
+	return nil
+}
+
+// ResilienceReport summarizes fault-injection and recovery activity from a
+// metrics snapshot: retry/timeout/backoff counters from the RMA layer and
+// steal-blacklist counters from the scheduler. Unlike the span-based
+// section of WriteReport it survives ring truncation, because the counters
+// cover the whole run. Silent when the run saw no resilience activity.
+func ResilienceReport(w io.Writer, raw json.RawMessage) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("trace: parsing metrics snapshot: %w", err)
+	}
+	retries := snap.Counters["rma_retries"]
+	blacklists := snap.Counters["uth_steal_blacklists"]
+	injected := snap.Counters["fault_injected_failures"]
+	if retries == 0 && blacklists == 0 && injected == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "\nresilience (whole-run counters):\n")
+	fmt.Fprintf(w, "  injected failures   %d  (budget exhausted on %d rank(s))\n",
+		injected, snap.Counters["fault_budget_exhausted_ranks"])
+	fmt.Fprintf(w, "  rma retries         %d  (%d ns of timeout+backoff stall)\n",
+		retries, snap.Counters["rma_retry_stall_ns"])
+	fmt.Fprintf(w, "  steal timeouts      %d   blacklists %d   redirected picks %d\n",
+		snap.Counters["uth_steal_timeouts"],
+		snap.Counters["uth_steal_blacklists"],
+		snap.Counters["uth_blacklist_skips"])
 	return nil
 }

@@ -47,13 +47,18 @@ const (
 	KTaskRun
 	KTaskEnd
 	KJoin
+	// KRetry and KBlacklist were added with the fault-injection subsystem
+	// (PR 3); the enum stays append-only so dumped kind values keep their
+	// meaning across versions.
+	KRetry
+	KBlacklist
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"fork", "steal", "failed-steal", "migrate", "release", "lazy-release",
 	"acquire", "cache-miss", "write-back", "eviction", "region-enter", "region-exit",
-	"checkout", "task", "task-end", "join",
+	"checkout", "task", "task-end", "join", "retry", "blacklist",
 }
 
 func (k Kind) String() string {
@@ -73,6 +78,10 @@ func (k Kind) String() string {
 //	KSteal       Arg = victim rank (span: steal latency on the thief)
 //	KFailedSteal Arg = victim rank (span: wasted attempt latency)
 //	KCheckout    Arg = bytes            (span: checkout call duration)
+//	KRetry       Arg = target rank,     Arg2 = attempt number (span: the
+//	             timeout + backoff one transient RMA failure cost its origin)
+//	KBlacklist   Arg = victim rank      (span: the penalty window during
+//	             which the recording rank skips the victim for steals)
 //	KCacheMiss   Arg = bytes fetched
 //	KWriteBack   Arg = bytes written back
 //	KEviction    Arg = bytes evicted

@@ -77,11 +77,40 @@ type Config struct {
 	// schedulers §8 of the paper names as future work. The default is the
 	// paper's purely random victim selection.
 	LocalityAware bool
+
+	// VictimBlacklist enables steal-victim backoff: a victim whose
+	// attempts repeatedly fail or exceed StealTimeout is skipped for a
+	// penalty window (doubling per repeat up to BlacklistMax, decaying on
+	// a healthy probe), so a steal storm against a straggler does not
+	// serialize the cluster. Off by default: clean runs keep the paper's
+	// purely random victim selection, and the golden digest.
+	VictimBlacklist bool
+	// StealTimeout is the attempt latency beyond which a victim earns a
+	// strike even if the steal succeeded (default 20µs).
+	StealTimeout sim.Time
+	// BlacklistAfter is the consecutive-strike count that blacklists a
+	// victim (default 3).
+	BlacklistAfter int
+	// BlacklistBase and BlacklistMax bound the doubling penalty window
+	// (defaults 50µs and 2ms).
+	BlacklistBase, BlacklistMax sim.Time
 }
 
 func (c Config) withDefaults() Config {
 	if c.StackBytes == 0 {
 		c.StackBytes = 2048
+	}
+	if c.StealTimeout == 0 {
+		c.StealTimeout = 20 * sim.Microsecond
+	}
+	if c.BlacklistAfter == 0 {
+		c.BlacklistAfter = 3
+	}
+	if c.BlacklistBase == 0 {
+		c.BlacklistBase = 50 * sim.Microsecond
+	}
+	if c.BlacklistMax == 0 {
+		c.BlacklistMax = 2 * sim.Millisecond
 	}
 	return c
 }
@@ -106,6 +135,10 @@ type Stats struct {
 	CommWaits    uint64 // checkouts that overlapped their fetch with other work
 	FailedSteals uint64
 	Migrations   uint64 // resumes on a rank other than where the thread suspended
+
+	StealTimeouts  uint64 // attempts slower than Config.StealTimeout
+	Blacklists     uint64 // victim blacklisting episodes
+	BlacklistSkips uint64 // picks redirected away from a blacklisted victim
 }
 
 // Sched is the cluster-wide work-stealing scheduler.
@@ -176,11 +209,17 @@ func NewSched(comm *rma.Comm, cfg Config, hooks Hooks) *Sched {
 	s := &Sched{comm: comm, cfg: cfg, hooks: hooks, threadOf: make(map[*sim.Proc]*thread)}
 	s.workers = make([]*Worker, comm.Size())
 	for i := range s.workers {
-		s.workers[i] = &Worker{
+		w := &Worker{
 			sched: s,
 			rank:  comm.Rank(i),
 			rng:   rand.New(rand.NewSource(cfg.Seed ^ (int64(i)+1)*0x5DEECE66D)),
 		}
+		if cfg.VictimBlacklist {
+			w.strikes = make([]int, comm.Size())
+			w.blackUntil = make([]sim.Time, comm.Size())
+			w.blackDur = make([]sim.Time, comm.Size())
+		}
+		s.workers[i] = w
 	}
 	return s
 }
@@ -196,6 +235,13 @@ type Worker struct {
 	// ready holds threads paused on in-flight communication (overlap):
 	// each becomes runnable on this rank at its wake time.
 	ready []timedThread
+
+	// Victim-blacklist state (allocated only under Config.VictimBlacklist):
+	// consecutive strikes, the time until which each victim is skipped,
+	// and its current doubling penalty duration.
+	strikes    []int
+	blackUntil []sim.Time
+	blackDur   []sim.Time
 }
 
 // timedThread is a thread waiting for its communication to complete.
@@ -384,8 +430,10 @@ func (w *Worker) trySteal() bool {
 	v := s.workers[vID]
 	net := s.comm.Net()
 	me := w.rank.ID()
-	// Remote CAS claiming the victim deque's top.
-	w.proc.Advance(net.AtomicTime(me, vID))
+	// Remote CAS claiming the victim deque's top. The charge includes any
+	// fault-injected retries and link perturbation toward the victim; with
+	// no fault plan it is exactly the base AtomicTime.
+	w.rank.ChargeAtomic(vID)
 	if len(v.deque) == 0 {
 		s.Stats.FailedSteals++
 		d := w.proc.Now() - t0
@@ -393,6 +441,7 @@ func (w *Worker) trySteal() bool {
 		if s.tracer != nil {
 			s.tracer.RecSpan(t0, d, me, trace.KFailedSteal, int64(vID), 0)
 		}
+		w.noteStealOutcome(vID, d, false)
 		return false
 	}
 	// Take the oldest entry and fetch the suspended thread's stack.
@@ -404,7 +453,7 @@ func (w *Worker) trySteal() bool {
 		s.Stats.IntraSteals++
 	}
 	s.Stats.Migrations++
-	w.proc.Advance(net.TransferTime(me, vID, s.cfg.StackBytes))
+	w.rank.ChargeTransfer(vID, s.cfg.StackBytes)
 	// Acquire #2 (with the victim's Release #1 handler) happens here on
 	// the thief; the resumed thread needs no further fence.
 	s.hooks.OnSteal(me, e.handler)
@@ -415,8 +464,50 @@ func (w *Worker) trySteal() bool {
 	if s.tracer != nil {
 		s.tracer.RecSpan(t0, d, me, trace.KSteal, int64(vID), e.th.tid)
 	}
+	w.noteStealOutcome(vID, d, true)
 	w.resumeHere(e.th, false)
 	return true
+}
+
+// noteStealOutcome updates the victim-blacklist state after one attempt
+// against v that took latency d. A failure or an over-StealTimeout attempt
+// is a strike; BlacklistAfter consecutive strikes blacklist the victim for
+// a doubling penalty window. A healthy attempt clears the strikes and
+// halves the victim's penalty (the decay that re-probes recovered ranks
+// quickly). No-op unless Config.VictimBlacklist armed the state.
+func (w *Worker) noteStealOutcome(v int, d sim.Time, ok bool) {
+	if w.strikes == nil {
+		return
+	}
+	s := w.sched
+	slow := d > s.cfg.StealTimeout
+	if slow {
+		s.Stats.StealTimeouts++
+	}
+	if ok && !slow {
+		w.strikes[v] = 0
+		w.blackDur[v] /= 2
+		return
+	}
+	w.strikes[v]++
+	if w.strikes[v] < s.cfg.BlacklistAfter {
+		return
+	}
+	w.strikes[v] = 0
+	dur := w.blackDur[v] * 2
+	if dur < s.cfg.BlacklistBase {
+		dur = s.cfg.BlacklistBase
+	}
+	if dur > s.cfg.BlacklistMax {
+		dur = s.cfg.BlacklistMax
+	}
+	w.blackDur[v] = dur
+	now := w.proc.Now()
+	w.blackUntil[v] = now + dur
+	s.Stats.Blacklists++
+	if s.tracer != nil {
+		s.tracer.RecSpan(now, dur, w.rank.ID(), trace.KBlacklist, int64(v), int64(w.blackDur[v]))
+	}
 }
 
 // pickVictim selects a steal victim. The purely random policy picks any
@@ -438,6 +529,9 @@ func (w *Worker) pickVictim() int {
 				if cand == me || cand >= n {
 					continue
 				}
+				if w.blackUntil != nil && w.blackUntil[cand] > w.proc.Now() {
+					continue
+				}
 				if len(s.workers[cand].deque) > 0 {
 					return cand
 				}
@@ -447,6 +541,24 @@ func (w *Worker) pickVictim() int {
 	vID := w.rng.Intn(n - 1)
 	if vID >= me {
 		vID++
+	}
+	if w.blackUntil == nil || w.blackUntil[vID] <= w.proc.Now() {
+		return vID
+	}
+	// The pick is blacklisted: deterministically probe the next non-
+	// blacklisted rank. If every other rank is blacklisted, probe the
+	// original pick anyway — the scheduler must never stop stealing
+	// entirely (termination detection relies on eventual probes).
+	now := w.proc.Now()
+	for k := 1; k < n; k++ {
+		cand := (vID + k) % n
+		if cand == me {
+			continue
+		}
+		if w.blackUntil[cand] <= now {
+			w.sched.Stats.BlacklistSkips++
+			return cand
+		}
 	}
 	return vID
 }
