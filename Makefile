@@ -1,14 +1,15 @@
 # Checks every PR must pass. `make check` is the full gate; the individual
 # targets exist so CI can fan them out. The race target covers the event
 # kernel and the one-sided layer, whose no-host-races-by-construction claim
-# (exactly one simulated goroutine runs at a time, handoffs through channel
-# edges) is what the whole deterministic simulation rests on.
+# (one simulated goroutine per engine shard runs at a time, handoffs through
+# channel edges; cross-shard traffic through the conservative merge protocol
+# of DESIGN.md §8) is what the whole deterministic simulation rests on.
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-all golden faults bench hostperf
+.PHONY: check fmt vet build test race race-all golden faults bench hostperf docscheck linkcheck
 
-check: fmt vet build test race golden faults
+check: fmt vet build test race golden faults docscheck linkcheck
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -49,4 +50,13 @@ bench:
 	$(GO) test -bench BenchmarkRMAOps -run xxx ./internal/rma
 
 hostperf:
-	$(GO) run ./cmd/itybench -hostperf BENCH_sim.json -count 3
+	$(GO) run ./cmd/itybench -hostperf BENCH_sim.json -count 3 -procs 8
+
+# Documentation gates: every package keeps a package comment (and the public
+# ityr package keeps per-identifier docs); markdown links and code fences in
+# the top-level docs stay valid.
+docscheck:
+	$(GO) run ./internal/tools/docscheck
+
+linkcheck:
+	$(GO) run ./internal/tools/linkcheck README.md DESIGN.md EXPERIMENTS.md

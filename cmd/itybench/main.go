@@ -8,10 +8,13 @@
 //	itybench -fig 7          # only Figure 7
 //	itybench -scale quick    # reduced sizes
 //	itybench -env            # print the simulated environment (Table 1)
-//	itybench -hostperf BENCH_sim.json -count 3
+//	itybench -hostperf BENCH_sim.json -count 3 -procs 8
 //	                         # host-side kernel microbenchmarks (events/sec,
-//	                         # RMA ops/sec), best of -count runs, written as
-//	                         # machine-readable JSON
+//	                         # RMA ops/sec), best of -count runs, plus the
+//	                         # host-speedup sweep over 1..-procs engine
+//	                         # shards, written as machine-readable JSON
+//	itybench -fig 9 -procs 4 # any experiment with the engine sharded over
+//	                         # 4 host workers (same simulated results)
 //	itybench -faults BENCH_faults.json -scale quick
 //	                         # the apps under the canned fault plans
 //	                         # (link degradation, flaky RMA, straggler),
@@ -34,9 +37,15 @@ func main() {
 	env := flag.Bool("env", false, "print the simulated environment (Table 1) and exit")
 	hostperf := flag.String("hostperf", "", "run host-perf microbenchmarks and write JSON report to this file ('-' for stdout)")
 	count := flag.Int("count", 3, "with -hostperf: runs per benchmark (best is kept)")
+	procs := flag.Int("procs", 1, "host worker shards for the engine; with -hostperf, the sweep's upper bound (1,2,4,... up to N). Simulated results are identical for any value")
 	metricsFile := flag.String("metrics", "", "run the canonical cilksort config and write its runtime-metrics JSON snapshot to this file ('-' for stdout)")
 	faultsFile := flag.String("faults", "", "run the apps under the canned fault plans and write the JSON report to this file ('-' for stdout)")
 	flag.Parse()
+
+	// Shard the simulation engine across host workers. Every experiment's
+	// simulated output is bit-identical for any -procs value; this only
+	// changes how fast the host gets there.
+	bench.SetHostProcs(*procs)
 
 	if *hostperf != "" {
 		// Human summary goes to stderr when the JSON itself claims stdout,
@@ -54,7 +63,7 @@ func main() {
 			defer f.Close()
 			out = f
 		}
-		rep := bench.HostPerf(summary, *count)
+		rep := bench.HostPerf(summary, *count, *procs)
 		if err := rep.WriteJSON(out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -28,6 +28,7 @@ func (p GPtr[T]) Add(n int64) GPtr[T] {
 // Span returns the n-element span starting at p.
 func (p GPtr[T]) Span(n int64) GSpan[T] { return GSpan[T]{Ptr: p, Len: n} }
 
+// String renders the pointer as gptr[T](0xADDR) for debugging output.
 func (p GPtr[T]) String() string {
 	var z T
 	return fmt.Sprintf("gptr[%T](%#x)", z, p.addr)

@@ -1,0 +1,202 @@
+// Package halo implements a 1D ring halo-exchange stencil benchmark: the
+// canonical SPMD/RMA workload whose ranks interact only through one-sided
+// Puts into neighbour ghost cells, fenced by barriers.
+//
+// Unlike the fork-join benchmarks (cilksort, fmm, uts), halo spends its
+// entire life in SPMD mode, so under parallel host execution
+// (Config.HostProcs > 1) every rank's compute and communication runs on
+// its own host shard from the first event to the last — no globally
+// serialized phase at all. That makes it both the determinism stress for
+// the sharded engine's conservative protocol and the workload on which
+// host-speedup is actually measurable.
+//
+// Each step, every rank applies a three-point smoothing stencil to its
+// block of cells (real host floating-point work, charged to virtual time
+// per cell), barriers, then writes its two boundary cells into its
+// neighbours' ghost slots with one-sided Puts, flushes, and barriers
+// again. The extra barrier between the compute phase and the exchange
+// phase is what makes the program data-race-free: without it, a rank's
+// Put into a neighbour's ghost cell lands in the same barrier epoch as
+// the neighbour's stencil read of that cell, and the value observed
+// depends on scheduling order. Data-race-freedom is the property the RMA
+// layer's eager payload movement (and the sharded engine's round
+// isolation) relies on — a racy program is "deterministic" on one shard
+// only by accident of the serial interleaving.
+package halo
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"ityr"
+	"ityr/internal/rma"
+	"ityr/internal/sim"
+)
+
+// Config sizes a halo run.
+type Config struct {
+	// Ranks is the number of simulated processes in the ring.
+	Ranks int
+	// CoresPerNode groups ranks into nodes for the network model.
+	CoresPerNode int
+	// CellsPerRank is each rank's block size (cells are float64s).
+	CellsPerRank int
+	// Steps is the number of stencil iterations.
+	Steps int
+	// HostProcs shards the engine across host workers (0/1 = serial).
+	HostProcs int
+	// CellCost is the virtual compute cost charged per cell per step
+	// (defaults to 2ns).
+	CellCost sim.Time
+}
+
+// Result carries a finished run's observables.
+type Result struct {
+	// Elapsed is the virtual time from the first barrier to the last.
+	Elapsed sim.Time
+	// Checksum sums every rank's final cells (bit-deterministic: the
+	// stencil is fixed-order float64 arithmetic).
+	Checksum float64
+	// Stats is the RMA traffic of the whole run.
+	Stats rma.Stats
+	// FinalState is the concatenated per-rank cell state (ghosts
+	// excluded), used by the digest.
+	FinalState []float64
+	// HostShards records how many shards the engine actually used.
+	HostShards int
+}
+
+// Digest folds every simulated observable into one printable string; two
+// runs of the same Config must produce identical digests regardless of
+// HostProcs.
+func (r Result) Digest() string {
+	h := fnv.New64a()
+	for _, v := range r.FinalState {
+		var b [8]byte
+		bits := math.Float64bits(v)
+		for i := range b {
+			b[i] = byte(bits >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	fmt.Fprintf(h, "rma=%+v\n", r.Stats)
+	return fmt.Sprintf("elapsed=%d checksum=%x fnv=%016x", r.Elapsed, math.Float64bits(r.Checksum), h.Sum64())
+}
+
+// Run executes the benchmark.
+func Run(cfg Config) (Result, error) {
+	if cfg.Ranks < 2 {
+		return Result{}, fmt.Errorf("halo: need at least 2 ranks, got %d", cfg.Ranks)
+	}
+	if cfg.CellsPerRank < 2 {
+		return Result{}, fmt.Errorf("halo: need at least 2 cells per rank, got %d", cfg.CellsPerRank)
+	}
+	if cfg.CellCost == 0 {
+		cfg.CellCost = 2 * sim.Nanosecond
+	}
+	rt := ityr.NewRuntime(ityr.Config{
+		Ranks:        cfg.Ranks,
+		CoresPerNode: cfg.CoresPerNode,
+		HostProcs:    cfg.HostProcs,
+	})
+	n := cfg.Ranks
+	cells := cfg.CellsPerRank
+	// Segment layout per rank, in float64 slots: [ghostL | cells... | ghostR].
+	segSlots := cells + 2
+	win := rt.Comm().NewUniformWin(segSlots * 8)
+	// Deterministic initial condition, written host-side before the run.
+	for r := 0; r < n; r++ {
+		seg := win.Seg(r)
+		x := uint64(r)*0x9E3779B97F4A7C15 + 1
+		for i := 0; i < cells; i++ {
+			x += 0x9E3779B97F4A7C15
+			z := (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+			z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+			storeF64(seg, i+1, float64(z>>11)/(1<<53))
+		}
+	}
+
+	var elapsed sim.Time
+	err := rt.Run(func(s *ityr.SPMD) {
+		me := s.Rank()
+		r := s.Local().Rank()
+		p := r.Proc()
+		left := (me + n - 1) % n
+		right := (me + 1) % n
+		seg := win.Seg(me)
+		tmp := make([]float64, cells)
+
+		exchange := func() {
+			// My first cell is my left neighbour's right ghost; my last
+			// cell is my right neighbour's left ghost.
+			win.PutUint64(r, loadBits(seg, 1), left, uint64Off(cells+1))
+			win.PutUint64(r, loadBits(seg, cells), right, uint64Off(0))
+			r.Flush()
+			r.Barrier()
+		}
+
+		start := p.Now()
+		exchange() // populate ghosts for the first step
+		for step := 0; step < cfg.Steps; step++ {
+			for i := 0; i < cells; i++ {
+				l := loadF64(seg, i)
+				c := loadF64(seg, i+1)
+				rr := loadF64(seg, i+2)
+				tmp[i] = 0.25*l + 0.5*c + 0.25*rr
+			}
+			for i, v := range tmp {
+				storeF64(seg, i+1, v)
+			}
+			p.Advance(sim.Time(cells) * cfg.CellCost)
+			// Fence the compute phase off from the exchange phase: every
+			// rank must be done reading its ghosts before any neighbour
+			// overwrites them.
+			r.Barrier()
+			exchange()
+		}
+		if me == 0 {
+			elapsed = p.Now() - start
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Elapsed:    elapsed,
+		Stats:      rt.Comm().Stats(),
+		HostShards: rt.Engine().Shards(),
+		FinalState: make([]float64, 0, n*cells),
+	}
+	for r := 0; r < n; r++ {
+		seg := win.Seg(r)
+		for i := 0; i < cells; i++ {
+			v := loadF64(seg, i+1)
+			res.FinalState = append(res.FinalState, v)
+			res.Checksum += v
+		}
+	}
+	return res, nil
+}
+
+// uint64Off converts a float64 slot index to a byte offset.
+func uint64Off(slot int) int { return slot * 8 }
+
+func loadBits(seg []byte, slot int) uint64 {
+	off := slot * 8
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(seg[off+i]) << (8 * i)
+	}
+	return v
+}
+
+func loadF64(seg []byte, slot int) float64 { return math.Float64frombits(loadBits(seg, slot)) }
+
+func storeF64(seg []byte, slot int, v float64) {
+	off := slot * 8
+	bits := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		seg[off+i] = byte(bits >> (8 * i))
+	}
+}

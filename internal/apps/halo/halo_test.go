@@ -1,0 +1,58 @@
+package halo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Ranks: 4, CoresPerNode: 2, CellsPerRank: 32, Steps: 5}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Errorf("same config, different digests:\n  %s\n  %s", a.Digest(), b.Digest())
+	}
+	if a.Elapsed <= 0 {
+		t.Errorf("elapsed = %d, want > 0", a.Elapsed)
+	}
+	if len(a.FinalState) != 4*32 {
+		t.Errorf("final state has %d cells, want %d", len(a.FinalState), 4*32)
+	}
+}
+
+func TestRunConservesMass(t *testing.T) {
+	// The stencil weights sum to 1 and the ring is closed, so total mass
+	// is conserved up to float rounding.
+	cfg := Config{Ranks: 4, CoresPerNode: 2, CellsPerRank: 64, Steps: 1}
+	one, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Steps = 20
+	many, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := one.Checksum - many.Checksum
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 1e-9*one.Checksum {
+		t.Errorf("mass not conserved: %v after 1 step vs %v after 20", one.Checksum, many.Checksum)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{Ranks: 1, CellsPerRank: 8, Steps: 1}); err == nil || !strings.Contains(err.Error(), "ranks") {
+		t.Errorf("Ranks=1: err = %v, want ranks error", err)
+	}
+	if _, err := Run(Config{Ranks: 4, CellsPerRank: 1, Steps: 1}); err == nil || !strings.Contains(err.Error(), "cells") {
+		t.Errorf("CellsPerRank=1: err = %v, want cells error", err)
+	}
+}

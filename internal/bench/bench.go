@@ -109,6 +109,20 @@ type Row struct {
 	Value    float64 // figure-specific metric (speedup, nodes/s, idleness...)
 }
 
+// hostProcs is the engine shard count every experiment runtime uses.
+// Simulated results are bit-identical for any value (the parallel host
+// execution contract, see internal/sim); it only changes host wall-clock.
+var hostProcs = 1
+
+// SetHostProcs sets the host worker count for subsequent experiment runs
+// (cmd/itybench's -procs flag). Values below 1 are clamped to 1.
+func SetHostProcs(n int) {
+	if n < 1 {
+		n = 1
+	}
+	hostProcs = n
+}
+
 // runtimeConfig assembles the paper-like machine configuration (Table 1,
 // scaled): 64 KiB blocks, 4 KiB sub-blocks, 16 MiB private cache per
 // process, block-cyclic collective distribution (chosen by the apps).
@@ -116,6 +130,7 @@ func runtimeConfig(ranks, coresPerNode int, pol ityr.Policy, seed int64) ityr.Co
 	return ityr.Config{
 		Ranks:        ranks,
 		CoresPerNode: coresPerNode,
+		HostProcs:    hostProcs,
 		Pgas: ityr.PgasConfig{
 			BlockSize:    64 << 10,
 			SubBlockSize: 4 << 10,

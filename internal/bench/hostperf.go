@@ -10,8 +10,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
+	"time"
 
+	"ityr"
+	"ityr/internal/apps/halo"
 	"ityr/internal/netmodel"
 	"ityr/internal/rma"
 	"ityr/internal/sim"
@@ -47,11 +51,34 @@ type HostPerfResult struct {
 	RunsAveragedOver int     `json:"runs"`
 }
 
+// HostSpeedupResult is one (workload, host shard count) sample of the
+// parallel host execution sweep: how long the host took to run the same
+// simulation with that many engine shards, and whether the simulated
+// digest stayed bit-identical to the serial run (it must — a false here
+// is a determinism bug, and the speedup column would be meaningless).
+type HostSpeedupResult struct {
+	Workload  string  `json:"workload"`
+	HostProcs int     `json:"host_procs"`
+	HostMs    float64 `json:"host_ms"`
+	// SpeedupVsSerial is serial host time / this host time. On a
+	// single-core host this hovers around 1.0 regardless of HostProcs;
+	// interpret it against HostCPUs in the enclosing report.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	DigestOK        bool    `json:"digest_matches_serial"`
+}
+
 // HostPerfReport is the BENCH_sim.json document.
 type HostPerfReport struct {
-	Schema     string           `json:"schema"`
-	Count      int              `json:"count"`
-	Benchmarks []HostPerfResult `json:"benchmarks"`
+	Schema string `json:"schema"`
+	Count  int    `json:"count"`
+	// HostCPUs is runtime.NumCPU() on the measuring host — the hard
+	// ceiling on any host_speedup number below. A sweep run on a 1-CPU
+	// container cannot show parallel speedup no matter how well the
+	// sharded engine scales; record the denominator so readers can tell
+	// "engine doesn't scale" apart from "host has no cores".
+	HostCPUs    int                 `json:"host_cpus"`
+	Benchmarks  []HostPerfResult    `json:"benchmarks"`
+	HostSpeedup []HostSpeedupResult `json:"host_speedup,omitempty"`
 }
 
 func hostPerfCases() []struct {
@@ -195,15 +222,92 @@ func runRMA(b *testing.B, body func(r *rma.Rank, w *rma.Win, n int)) {
 	runEngine(b, e)
 }
 
+// hostSpeedupWorkloads are the end-to-end simulations the -procs sweep
+// times. Each returns a digest of every simulated observable so the sweep
+// can verify bit-identical results across host shard counts.
+var hostSpeedupWorkloads = []struct {
+	name string
+	run  func(procs int) string
+}{
+	// halo is pure SPMD: every rank lives on its own shard for the whole
+	// run, so this is the workload on which host parallelism can pay.
+	{"halo-spmd", func(procs int) string {
+		res, err := halo.Run(halo.Config{
+			Ranks:        32,
+			CoresPerNode: 8,
+			CellsPerRank: 4096,
+			Steps:        50,
+			HostProcs:    procs,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return res.Digest()
+	}},
+	// cilksort spends almost all its time inside a fork-join region,
+	// which pins the engine to the global (serial) phase; expect ~1.0x
+	// at any shard count. Included deliberately: it documents the limit
+	// of the current sharding model, and its digest still must match.
+	{"cilksort-forkjoin", func(procs int) string {
+		prev := hostProcs
+		SetHostProcs(procs)
+		defer SetHostProcs(prev)
+		elapsed, rt := CilksortRun(1<<18, 16<<10, 16, 8, ityr.WriteBackLazy, 11)
+		return fmt.Sprintf("elapsed=%d rma=%+v", elapsed, rt.Comm().Stats())
+	}},
+}
+
+// HostSpeedupSweep times each workload at host shard counts 1, 2, 4, ...
+// up to maxProcs, checking digest parity against the serial run at every
+// point. Results go into the report's host_speedup section.
+func HostSpeedupSweep(w io.Writer, maxProcs int) []HostSpeedupResult {
+	var out []HostSpeedupResult
+	for _, wl := range hostSpeedupWorkloads {
+		var serialDigest string
+		var serialMs float64
+		for procs := 1; procs <= maxProcs; procs *= 2 {
+			t0 := time.Now()
+			digest := wl.run(procs)
+			hostMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+			if procs == 1 {
+				serialDigest, serialMs = digest, hostMs
+			}
+			res := HostSpeedupResult{
+				Workload:        wl.name,
+				HostProcs:       procs,
+				HostMs:          hostMs,
+				SpeedupVsSerial: serialMs / hostMs,
+				DigestOK:        digest == serialDigest,
+			}
+			status := "digest ok"
+			if !res.DigestOK {
+				status = "DIGEST MISMATCH"
+			}
+			fmt.Fprintf(w, "%-20s procs=%-2d %10.1f ms  %5.2fx vs serial  (%s)\n",
+				wl.name, procs, res.HostMs, res.SpeedupVsSerial, status)
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
 // HostPerf runs every microbenchmark count times, keeps each one's best run
 // (standard practice for throughput benchmarks: the minimum ns/op is the
-// least-disturbed measurement), writes a human summary to w, and returns the
+// least-disturbed measurement), then runs the host-speedup sweep up to
+// maxProcs engine shards, writes a human summary to w, and returns the
 // report for serialization.
-func HostPerf(w io.Writer, count int) HostPerfReport {
+func HostPerf(w io.Writer, count, maxProcs int) HostPerfReport {
 	if count < 1 {
 		count = 1
 	}
-	rep := HostPerfReport{Schema: "itoyori-hostperf/v1", Count: count}
+	if maxProcs < 1 {
+		maxProcs = 1
+	}
+	rep := HostPerfReport{
+		Schema:   "itoyori-hostperf/v2",
+		Count:    count,
+		HostCPUs: runtime.NumCPU(),
+	}
 	for _, c := range hostPerfCases() {
 		best := 0.0 // ns/op; 0 = unset
 		for i := 0; i < count; i++ {
@@ -228,6 +332,8 @@ func HostPerf(w io.Writer, count int) HostPerfReport {
 			c.name, res.NsPerOp, res.OpsPerSec, res.Metric, res.SpeedupVsBase)
 		rep.Benchmarks = append(rep.Benchmarks, res)
 	}
+	fmt.Fprintf(w, "host-speedup sweep (%d host CPU(s) available):\n", rep.HostCPUs)
+	rep.HostSpeedup = HostSpeedupSweep(w, maxProcs)
 	return rep
 }
 

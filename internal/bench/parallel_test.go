@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"testing"
+
+	"ityr"
+	"ityr/internal/apps/halo"
+	"ityr/internal/sim"
+)
+
+// kernelDigestProcs is kernelDigest with an explicit host shard count.
+func kernelDigestProcs(t *testing.T, sc Scale, pol ityr.Policy, procs int) string {
+	t.Helper()
+	cfg := runtimeConfig(sc.FixedRanks, sc.CoresPerNode, pol, 11)
+	cfg.HostProcs = procs
+	return configDigest(t, cfg, sc.CilksortN, sc.Cutoffs[0])
+}
+
+// TestGoldenDigestHostProcsParity is the tentpole acceptance gate for
+// parallel host execution: the full golden workload — SPMD allocation and
+// barriers, two fork-join regions, tracing on — must produce bit-identical
+// digests whether the host runs it on one shard or many. Everything
+// simulated (timestamps, traffic stats, cache decisions, the trace stream)
+// is covered by the digest; only host-side EngineStats may differ.
+//
+// Running this test under `go test -race` (the race-all CI job does) also
+// makes it the data-race stress for the sharded engine: parallel rounds
+// with 4 host workers exercise the mailbox merge, the keyed barrier, and
+// the pin/unpin phase transitions under the race detector.
+func TestGoldenDigestHostProcsParity(t *testing.T) {
+	for _, pol := range ityr.Policies {
+		want := kernelDigestProcs(t, Smoke, pol, 1)
+		for _, procs := range []int{2, 4} {
+			got := kernelDigestProcs(t, Smoke, pol, procs)
+			if got != want {
+				t.Errorf("%s: digest diverges at HostProcs=%d:\n  procs=1: %s\n  procs=%d: %s",
+					pol, procs, want, procs, got)
+			}
+		}
+	}
+}
+
+// haloDigest runs the halo-exchange benchmark — the workload whose SPMD
+// phases genuinely shard across host workers — and digests it.
+func haloDigest(t *testing.T, procs int) (string, sim.Time) {
+	t.Helper()
+	res, err := halo.Run(halo.Config{
+		Ranks:        16,
+		CoresPerNode: 8,
+		CellsPerRank: 512,
+		Steps:        25,
+		HostProcs:    procs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Digest(), res.Elapsed
+}
+
+// TestHaloHostProcsParity checks digest parity on a workload that spends
+// its whole life in parallel rounds (no fork-join region at all): a 1D
+// halo exchange over an RMA window, Put+Flush+Barrier per step. Unlike the
+// golden workload, every rank's compute and communication here executes on
+// its own shard, so this pins down the conservative protocol itself —
+// shard clocks, mailbox merges, and the keyed barrier — rather than the
+// global-phase fallback.
+func TestHaloHostProcsParity(t *testing.T) {
+	want, elapsed := haloDigest(t, 1)
+	if elapsed <= 0 {
+		t.Fatalf("halo run did not advance virtual time")
+	}
+	for _, procs := range []int{2, 4, 8} {
+		got, _ := haloDigest(t, procs)
+		if got != want {
+			t.Errorf("halo digest diverges at HostProcs=%d:\n  procs=1: %s\n  procs=%d: %s",
+				procs, want, procs, got)
+		}
+	}
+}

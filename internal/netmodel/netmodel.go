@@ -119,6 +119,22 @@ func (p Params) AtomicTime(a, b int) sim.Time {
 	return p.AtomicRTT
 }
 
+// MinLatency returns the smallest one-way latency any cross-rank
+// interaction can be charged: the minimum of the intra-node and inter-node
+// link latencies. This is the lookahead bound for conservative parallel
+// host execution (sim.NewEngineShards): no rank can affect another rank's
+// simulated state sooner than MinLatency after initiating an operation, so
+// events less than MinLatency apart on different shards are causally
+// independent. Perturbations (fault plans) only ever add time, so they
+// never shrink the bound.
+func (p Params) MinLatency() sim.Time {
+	min := p.Latency
+	if p.IntraLatency > 0 && p.IntraLatency < min {
+		min = p.IntraLatency
+	}
+	return min
+}
+
 // TransferTimeAt is TransferTime plus any fault-plan perturbation active
 // at virtual time now. With no Perturber (or a == b) it equals
 // TransferTime exactly.

@@ -128,3 +128,18 @@ func TestAtVariantsApplyPerturber(t *testing.T) {
 		t.Errorf("local TransferExtraAt = %d, want 0", got)
 	}
 }
+
+func TestMinLatency(t *testing.T) {
+	p := Default(8)
+	if got := p.MinLatency(); got != p.IntraLatency {
+		t.Errorf("default MinLatency = %d, want intra-node latency %d", got, p.IntraLatency)
+	}
+	p.IntraLatency = 0 // single-core nodes: no intra-node hops configured
+	if got := p.MinLatency(); got != p.Latency {
+		t.Errorf("MinLatency with no intra latency = %d, want %d", got, p.Latency)
+	}
+	p.IntraLatency = p.Latency * 2 // inter-node is the floor
+	if got := p.MinLatency(); got != p.Latency {
+		t.Errorf("MinLatency = %d, want inter-node latency %d", got, p.Latency)
+	}
+}

@@ -25,8 +25,15 @@ const (
 	CatOthers      = "Others"
 )
 
-// Profiler accumulates per-rank virtual time per category. It is driven
-// from simulation context (single-threaded), so no locking is needed.
+// Profiler accumulates per-rank virtual time per category with no locking.
+// The safety contract under parallel host execution (sim.NewEngineShards):
+// the accumulator matrix is indexed [category][rank] and each rank only
+// ever adds to its own column, so concurrent shards never touch the same
+// cell; the name/index maps, however, are mutated by Category, so new
+// categories must be registered either before the run or from a globally
+// pinned phase (fork-join regions — where the apps in fact register
+// theirs). Registering a category from an unpinned SPMD phase is a data
+// race.
 type Profiler struct {
 	nranks int
 	names  []string

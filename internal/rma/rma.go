@@ -38,6 +38,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"ityr/internal/fault"
 	"ityr/internal/netmodel"
@@ -67,23 +68,23 @@ type Comm struct {
 	inj    *fault.Injector // nil = no fault injection
 	tracer *trace.Log      // nil = no retry spans
 
-	barrierWaiting int
-	barrierProcs   []*sim.Proc
+	// Barrier state: per-rank virtual arrival times plus an atomic arrival
+	// counter. Writing the slot before the Add and reading all slots only
+	// after observing the final Add is the release/acquire pattern that
+	// makes the last arriver's max-over-slots read race-free even when
+	// ranks arrive from different host shards.
+	barSlots   []atomic.Int64
+	barArrived atomic.Int32
 
-	// Stats
-	getBytes, putBytes uint64
-	getOps, putOps     uint64
-	atomicOps          uint64
-	flushWaits         uint64
-	barriers           uint64
-	retries            uint64
-	retryNs            uint64
-	retriesByRank      []uint64
+	// barriers counts completed episodes. Only the releaser of an episode
+	// touches it, and consecutive releasers are ordered by the barrier
+	// itself, so no synchronization is needed.
+	barriers uint64
 }
 
 // New creates a communicator with n ranks on engine e using network model p.
 func New(e *sim.Engine, n int, p netmodel.Params) *Comm {
-	c := &Comm{eng: e, net: p, retriesByRank: make([]uint64, n)}
+	c := &Comm{eng: e, net: p, barSlots: make([]atomic.Int64, n)}
 	c.ranks = make([]*Rank, n)
 	for i := range c.ranks {
 		c.ranks[i] = &Rank{id: i, c: c}
@@ -104,7 +105,11 @@ func (c *Comm) SetTrace(tl *trace.Log) { c.tracer = tl }
 
 // RetriesByRank returns a copy of the per-origin-rank retry counts.
 func (c *Comm) RetriesByRank() []uint64 {
-	return append([]uint64(nil), c.retriesByRank...)
+	out := make([]uint64, len(c.ranks))
+	for i, r := range c.ranks {
+		out[i] = r.retries
+	}
+	return out
 }
 
 // Size returns the number of ranks.
@@ -129,19 +134,55 @@ type Stats struct {
 	RetryNs                   uint64 // virtual time lost to retry timeouts + backoff
 }
 
-// Stats returns cumulative traffic counters.
+// Stats returns cumulative traffic counters: the sum of every rank's
+// per-rank counters. Keeping the counters per rank (each rank only ever
+// increments its own) is what lets window ops run concurrently on
+// different host shards without locks; call Stats from outside the
+// simulation, or from a globally serialized section.
 func (c *Comm) Stats() Stats {
-	return Stats{
-		GetOps: c.getOps, PutOps: c.putOps, AtomicOps: c.atomicOps,
-		GetBytes: c.getBytes, PutBytes: c.putBytes,
-		FlushWaits: c.flushWaits, Barriers: c.barriers,
-		Retries: c.retries, RetryNs: c.retryNs,
+	s := Stats{Barriers: c.barriers}
+	for _, r := range c.ranks {
+		s.GetOps += r.getOps
+		s.PutOps += r.putOps
+		s.AtomicOps += r.atomicOps
+		s.GetBytes += r.getBytes
+		s.PutBytes += r.putBytes
+		s.FlushWaits += r.flushWaits
+		s.Retries += r.retries
+		s.RetryNs += r.retryNs
 	}
+	return s
 }
 
 // Rank is one simulated process's endpoint. Exactly one simulated process
 // must drive a given rank (Attach), mirroring Itoyori's one-process-per-core
 // design.
+//
+// # Failure semantics
+//
+// Every one-sided operation a rank originates (Get, Put, the atomics, and
+// the Charge* helpers) first passes through the fault-injection gate. With
+// no injector armed the gate is a single nil-check and operations never
+// fail. With an injector armed, an operation may fail transiently any
+// number of times before it takes effect: each failed attempt charges the
+// plan's detection timeout plus a capped, seeded exponential backoff to
+// this rank's virtual clock and increments its retry counters, and then
+// the operation is re-attempted from scratch. Because failures are always
+// injected before the memory effect, the effect of a retried operation is
+// applied exactly once — callers never observe a duplicated Put or a
+// double-applied FetchAndAdd, and need no idempotence of their own. An
+// operation that is still failing after the plan's MaxAttempts fail-stops:
+// it panics with an error wrapping ErrRetriesExhausted (classify with
+// errors.Is, as the simulated equivalent of MPI_ERRORS_ARE_FATAL).
+// Validation failures — a rank or byte range no correct program can
+// produce — panic with errors wrapping ErrRankOutOfRange or ErrOutOfRange
+// instead; CheckAccess performs the same classification without the panic.
+//
+// All mutable per-operation state (NIC serialization watermark, pending
+// completion time, traffic and retry counters) is private to the rank, so
+// ranks on different host shards may drive their endpoints concurrently
+// during parallel execution; cross-rank synchronization happens only
+// through Barrier.
 type Rank struct {
 	id   int
 	c    *Comm
@@ -153,6 +194,16 @@ type Rank struct {
 	// slowNum/slowDen is the rank's straggler time scale (0 = nominal),
 	// propagated to whichever process currently drives the rank.
 	slowNum, slowDen int64
+
+	// Per-rank traffic counters (summed by Comm.Stats). Each rank only
+	// increments its own, which keeps window ops lock-free under parallel
+	// host execution.
+	getBytes, putBytes uint64
+	getOps, putOps     uint64
+	atomicOps          uint64
+	flushWaits         uint64
+	retries            uint64
+	retryNs            uint64
 }
 
 // ID returns the rank number.
@@ -206,9 +257,8 @@ func (r *Rank) retryFaults(target int) {
 		wait := in.Timeout() + in.Backoff(r.id, attempt)
 		r.proc.Advance(wait)
 		d := r.proc.Now() - t0 // straggler scaling may stretch the wait
-		r.c.retries++
-		r.c.retriesByRank[r.id]++
-		r.c.retryNs += uint64(d)
+		r.retries++
+		r.retryNs += uint64(d)
 		if r.c.tracer != nil {
 			r.c.tracer.RecSpan(t0, d, r.id, trace.KRetry, int64(target), int64(attempt))
 		}
@@ -274,7 +324,7 @@ func (r *Rank) issue(target, nbytes int) {
 // path — a flush-heavy rank costs the host nothing per wait.
 func (r *Rank) Flush() {
 	if d := r.pending - r.proc.Now(); d > 0 {
-		r.c.flushWaits++
+		r.flushWaits++
 		r.proc.Advance(d)
 	}
 }
@@ -286,27 +336,44 @@ func (r *Rank) Flush() {
 func (r *Rank) PendingTime() sim.Time { return r.pending }
 
 // Barrier synchronizes all ranks in the communicator (SPMD regions only).
+//
+// Every rank records its virtual arrival time and parks; the last arriver
+// computes the release instant — the maximum arrival time plus a
+// dissemination cost of ceil(log2 n) one-way latencies — and schedules a
+// keyed wake for every rank (itself included) at that instant, keyed by
+// rank number. The release time and the wake order are therefore pure
+// functions of the arrival times: which host goroutine happens to arrive
+// last has no observable effect, which is what keeps barrier-paced phases
+// bit-identical between serial and parallel host execution. The release
+// offset is at least one link latency, satisfying the sharded engine's
+// cross-shard lookahead contract.
 func (r *Rank) Barrier() {
 	c := r.c
-	c.barrierWaiting++
-	if c.barrierWaiting < len(c.ranks) {
-		c.barrierProcs = append(c.barrierProcs, r.proc)
-		r.proc.Park()
+	n := len(c.ranks)
+	if n == 1 {
+		c.barriers++
 		return
 	}
-	// Last arriver releases everyone after a dissemination-style cost.
-	c.barriers++
-	steps := 0
-	for n := 1; n < len(c.ranks); n *= 2 {
-		steps++
+	c.barSlots[r.id].Store(r.proc.Now())
+	if int(c.barArrived.Add(1)) == n {
+		rel := sim.Time(0)
+		for i := range c.barSlots {
+			if t := sim.Time(c.barSlots[i].Load()); t > rel {
+				rel = t
+			}
+		}
+		steps := 0
+		for m := 1; m < n; m *= 2 {
+			steps++
+		}
+		rel += sim.Time(steps) * c.net.Latency
+		c.barriers++
+		c.barArrived.Store(0)
+		for i, q := range c.ranks {
+			r.proc.ScheduleWake(q.proc, rel, uint64(i))
+		}
 	}
-	r.proc.Advance(sim.Time(steps) * c.net.Latency)
-	waiters := c.barrierProcs
-	c.barrierProcs = nil
-	c.barrierWaiting = 0
-	for _, p := range waiters {
-		p.Wake()
-	}
+	r.proc.Park()
 }
 
 // Win is a one-sided memory window: one segment of bytes per rank.
@@ -361,7 +428,8 @@ func (w *Win) Generation(rank int) uint64 { return w.gens[rank] }
 // so no in-flight transfer ever reads or writes the segment after Grow
 // returns — growing mid-flight cannot corrupt an outstanding op. Reads of
 // a just-grown segment by other ranks in the same epoch are well-defined
-// under the single-goroutine-at-a-time invariant: either the Grow fits
+// under the kernel's baton discipline (global, or per-shard with Grows
+// confined to globally serialized or barrier-separated phases): either the Grow fits
 // within the existing capacity, in which case the segment is extended in
 // place and every previously taken slice still aliases the same backing
 // array, or the backing array is reallocated (with doubled capacity, so
@@ -416,8 +484,8 @@ func (w *Win) Get(r *Rank, target, off int, dst []byte) {
 	w.check(target, off, len(dst))
 	copy(dst, w.segs[target][off:])
 	r.issue(target, len(dst))
-	w.c.getOps++
-	w.c.getBytes += uint64(len(dst))
+	r.getOps++
+	r.getBytes += uint64(len(dst))
 }
 
 // Put starts a nonblocking write of src into target's segment at off.
@@ -426,8 +494,8 @@ func (w *Win) Put(r *Rank, src []byte, target, off int) {
 	w.check(target, off, len(src))
 	copy(w.segs[target][off:], src)
 	r.issue(target, len(src))
-	w.c.putOps++
-	w.c.putBytes += uint64(len(src))
+	r.putOps++
+	r.putBytes += uint64(len(src))
 }
 
 // GetUint64 is a blocking 8-byte read (issue + flush), as used for polling
@@ -471,7 +539,7 @@ func (w *Win) CompareAndSwap(r *Rank, target, off int, old, new uint64) uint64 {
 	if prev == old {
 		binary.LittleEndian.PutUint64(w.segs[target][off:], new)
 	}
-	w.c.atomicOps++
+	r.atomicOps++
 	return prev
 }
 
@@ -482,7 +550,7 @@ func (w *Win) FetchAndAdd(r *Rank, target, off int, delta uint64) uint64 {
 	r.ChargeAtomic(target)
 	prev := binary.LittleEndian.Uint64(w.segs[target][off:])
 	binary.LittleEndian.PutUint64(w.segs[target][off:], prev+delta)
-	w.c.atomicOps++
+	r.atomicOps++
 	return prev
 }
 

@@ -1,0 +1,523 @@
+// Parallel host execution: a conservatively synchronized sharded engine.
+//
+// # Model
+//
+// NewEngineShards partitions processes across S shards, each with its own
+// event queue, clock, and host worker goroutine. Execution alternates
+// between two phases:
+//
+//   - Global phase: the classic serial kernel. One queue, one clock, one
+//     goroutine at a time. Used whenever any process holds a global pin
+//     (PinGlobal), i.e. during phases whose cross-rank interactions are
+//     finer-grained than the lookahead (the fork-join scheduler's steal
+//     protocol pokes victim deques directly).
+//   - Parallel rounds: each shard's worker drains its own queue to
+//     quiescence — a dynamically sized conservative window that ends when
+//     every process on the shard has parked, blocked, or exited. Shards
+//     share no mutable state during a round; cross-shard communication is
+//     deferred into per-shard-pair mailboxes and merged at the round
+//     boundary in (time, key) order.
+//
+// # Why round-boundary merges are safe (lookahead)
+//
+// Cross-shard events are only created by Proc.ScheduleWake, whose contract
+// requires the wake time to lie at least `lookahead` — the network model's
+// minimum link latency — after the sender's clock, and the target process
+// to be quiescent (parked) from before the sender observed it until the
+// wake time. Under those conditions the destination shard's clock cannot
+// pass the wake time before the merge delivers it: the barrier release
+// time max(arrivals) + ceil(log2 n)·latency exceeds every shard's
+// quiesced clock, because each shard's clock is the maximum arrival time
+// of its own ranks. Both directions are asserted: the send side checks
+// t ≥ sender.now + lookahead for cross-shard wakes, and the merge panics
+// if an event would land in its destination shard's past. A violation is
+// therefore a loud bug, never a silent reordering.
+//
+// # Why digests are bit-identical to the serial engine
+//
+// Three mechanisms, none of which depend on host scheduling:
+//
+//  1. Location-independent tie-break keys. Within an instant, events sort
+//     by a 64-bit key: FIFO counters (serial behaviour) < per-shard banded
+//     counters < caller-chosen keyed wakes. Cross-shard merges therefore
+//     land in an order fixed by (time, key) alone.
+//  2. Quiescence-defined rounds. A round's contents are a function of the
+//     queues at its start, so the round structure itself is deterministic;
+//     host goroutines only decide *when* work happens, never *what order*
+//     observable interactions commit in. Within a round, shards touch
+//     disjoint simulation state (data-race-freedom across shards is the
+//     layering contract: conflicting accesses are separated by barriers,
+//     which span round boundaries).
+//  3. Deterministic phase switches. Parallel→global transitions trigger at
+//     round boundaries when a pin is held; global→parallel splits trigger
+//     at event boundaries when no pin is held. Both conditions are
+//     functions of simulated execution only.
+//
+// Host-side counters (EngineStats) are exempt: handoff and fast-advance
+// counts describe how the host executed the schedule and legitimately
+// differ across shard counts.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// sharded holds the parallel-execution extension of an Engine.
+type sharded struct {
+	shards    []*shard
+	lookahead Time
+	pins      atomic.Int32 // processes requiring the global phase
+	parallel  bool         // written by the coordinator between phases only
+	started   bool
+	rounds    uint64 // parallel rounds completed
+	splits    uint64 // global→parallel transitions
+}
+
+// shard is one host worker's slice of the simulation: a private event
+// queue, clock, and process set. During parallel rounds exactly one
+// goroutine (the shard worker or a process it handed the baton to) touches
+// a shard's state, so the serial kernel's no-locking argument holds
+// per-shard.
+type shard struct {
+	id      int
+	eng     *Engine
+	now     Time
+	queue   []event
+	seq     uint64
+	root    chan struct{} // baton back to the shard worker when the queue drains
+	runCh   chan struct{} // coordinator → worker: run one round
+	doneCh  chan struct{} // worker → coordinator: round quiesced
+	current *Proc
+	live    map[*Proc]struct{}
+	parked  map[*Proc]struct{}
+	inbox   [][]event // mailbox per source shard, merged at round boundaries
+	pending []event   // resumes for pin-parked processes, released at the global merge
+	stats   EngineStats
+}
+
+// key returns the shard-banded tie-break key for the shard's seq-th event.
+func (s *shard) key(seq uint64) uint64 {
+	return uint64(s.id+1)<<keyShardShift | (seq & keyShardMask)
+}
+
+// NewEngineShards returns an engine whose processes are partitioned across
+// nshards host workers, synchronized conservatively with the given
+// lookahead (the minimum virtual latency of any cross-shard interaction;
+// use the network model's MinLatency). NewEngineShards(1, ...) returns a
+// plain serial engine, so callers can thread a -procs knob straight
+// through. Run may be called at most once on a sharded engine.
+func NewEngineShards(nshards int, lookahead Time) *Engine {
+	if nshards < 1 {
+		panic("sim: NewEngineShards requires at least one shard")
+	}
+	e := NewEngine()
+	if nshards == 1 {
+		return e
+	}
+	if lookahead <= 0 {
+		panic("sim: sharded engine requires positive lookahead")
+	}
+	sh := &sharded{lookahead: lookahead}
+	for i := 0; i < nshards; i++ {
+		sh.shards = append(sh.shards, &shard{
+			id:     i,
+			eng:    e,
+			root:   make(chan struct{}),
+			runCh:  make(chan struct{}),
+			doneCh: make(chan struct{}),
+			live:   make(map[*Proc]struct{}),
+			parked: make(map[*Proc]struct{}),
+			inbox:  make([][]event, nshards),
+		})
+	}
+	e.sh = sh
+	return e
+}
+
+// Shards returns the number of host shards (1 for a serial engine).
+func (e *Engine) Shards() int {
+	if e.sh == nil {
+		return 1
+	}
+	return len(e.sh.shards)
+}
+
+// Lookahead returns the conservative synchronization bound (0 for a serial
+// engine).
+func (e *Engine) Lookahead() Time {
+	if e.sh == nil {
+		return 0
+	}
+	return e.sh.lookahead
+}
+
+// Shard returns the index of the shard this process is assigned to.
+func (p *Proc) Shard() int {
+	if p.shd == nil {
+		return 0
+	}
+	return p.shd.id
+}
+
+// PinGlobal declares that this process needs globally serialized execution
+// (e.g. it is entering a fork-join region whose steal protocol interacts
+// with other ranks at sub-lookahead granularity). If a parallel round is in
+// progress, the process yields and resumes — at its current virtual time —
+// once the engine has switched to the global phase. Pins nest; they are
+// released with UnpinGlobal. No-op on a serial engine.
+func (p *Proc) PinGlobal() {
+	e := p.eng
+	if e.sh == nil {
+		return
+	}
+	e.sh.pins.Add(1)
+	if !e.sh.parallel {
+		return
+	}
+	s := p.shd
+	s.seq++
+	s.pending = append(s.pending, event{at: s.now, key: s.key(s.seq), proc: p})
+	s.dispatch(p)
+}
+
+// UnpinGlobal releases a PinGlobal. When the last pin is released the
+// engine returns to parallel rounds at the next event boundary. No-op on a
+// serial engine.
+func (p *Proc) UnpinGlobal() {
+	if p.eng.sh == nil {
+		return
+	}
+	if p.eng.sh.pins.Add(-1) < 0 {
+		panic("sim: UnpinGlobal without matching PinGlobal")
+	}
+}
+
+// ScheduleWake schedules a Wake of q at time t, with an explicit
+// caller-chosen tie-break key (unique per instant among keyed events; e.g.
+// the target's rank number). Keyed wakes fire after all FIFO-scheduled
+// events of the same instant, in key order, in every execution mode — the
+// order is a property of the workload, not of which host worker scheduled
+// first, which is what makes cross-shard wakeups deterministic.
+//
+// During a parallel round a cross-shard wake must satisfy
+// t ≥ caller.Now() + lookahead, and q must already be parked and stay
+// parked until t (barrier waiters satisfy both by construction).
+func (p *Proc) ScheduleWake(q *Proc, t Time, key uint64) {
+	if key&^keyedMask != 0 {
+		panic("sim: ScheduleWake key out of range")
+	}
+	e := p.eng
+	ev := event{at: t, key: keyedBase | key, fire: q.Wake}
+	if q.shd != nil {
+		ev.shard = int32(q.shd.id)
+	}
+	if e.sh == nil || !e.sh.parallel {
+		if t < e.now {
+			panic(fmt.Sprintf("sim: wake at %d before now %d", t, e.now))
+		}
+		e.push(ev)
+		return
+	}
+	s := p.shd
+	if q.shd == s {
+		if t < s.now {
+			panic(fmt.Sprintf("sim: wake at %d before shard clock %d", t, s.now))
+		}
+		s.queue = heapPush(s.queue, ev)
+		return
+	}
+	if t < s.now+e.sh.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard wake at %d violates lookahead (shard %d clock %d + lookahead %d)",
+			t, s.id, s.now, e.sh.lookahead))
+	}
+	q.shd.inbox[s.id] = append(q.shd.inbox[s.id], ev)
+}
+
+// runSharded is Run for sharded engines: it alternates global phases with
+// parallel rounds until the simulation drains.
+func (e *Engine) runSharded() error {
+	sh := e.sh
+	if sh.started {
+		panic("sim: Run called twice on a sharded engine")
+	}
+	sh.started = true
+	for _, s := range sh.shards {
+		go s.worker()
+	}
+	for {
+		if done := e.runGlobalPhase(); done {
+			break
+		}
+		// Split: distribute the global queue across the shard queues. The
+		// queue pops in (at, key) order and ordered inserts keep each heap
+		// valid, so per-shard order is exactly the global order restricted
+		// to that shard.
+		for len(e.queue) > 0 {
+			var ev event
+			ev, e.queue = heapPop(e.queue)
+			dst := sh.shards[ev.targetShard()]
+			dst.queue = heapPush(dst.queue, ev)
+		}
+		sh.parallel = true
+		sh.splits++
+		for {
+			for _, s := range sh.shards {
+				s.runCh <- struct{}{}
+			}
+			for _, s := range sh.shards {
+				<-s.doneCh
+			}
+			sh.rounds++
+			moved := e.mergeInboxes()
+			if sh.pins.Load() > 0 || !moved {
+				break
+			}
+		}
+		sh.parallel = false
+		e.mergeToGlobal()
+	}
+	for _, s := range sh.shards {
+		close(s.runCh)
+	}
+	for _, s := range sh.shards {
+		if s.now > e.now {
+			e.now = s.now
+		}
+	}
+	var names []string
+	for _, s := range sh.shards {
+		for p := range s.live {
+			state := "running"
+			if _, ok := s.parked[p]; ok {
+				state = "parked"
+			}
+			names = append(names, p.Name+"("+state+")")
+		}
+	}
+	if len(names) > 0 {
+		sort.Strings(names)
+		return &DeadlockError{Parked: names}
+	}
+	return nil
+}
+
+// targetShard returns the shard an event belongs to when the global queue
+// is split.
+func (ev *event) targetShard() int {
+	if ev.proc != nil && ev.proc.shd != nil {
+		return ev.proc.shd.id
+	}
+	return int(ev.shard)
+}
+
+// runGlobalPhase drains the global queue serially (the classic kernel)
+// until either the simulation completes (returns true) or no pin holds the
+// engine global and pending events should run in parallel rounds instead
+// (returns false).
+func (e *Engine) runGlobalPhase() (done bool) {
+	sh := e.sh
+	for {
+		if len(e.queue) == 0 {
+			return true
+		}
+		if sh.pins.Load() == 0 {
+			return false
+		}
+		ev := e.pop()
+		e.now = ev.at
+		if ev.proc == nil {
+			e.current = nil
+			e.stats.Callbacks++
+			ev.fire()
+			continue
+		}
+		e.transfer(ev.proc)
+		<-e.root
+	}
+}
+
+// globalDispatch is dispatch for processes of a sharded engine during the
+// global phase. It matches the serial dispatch loop exactly, except that
+// when the last pin has been released it returns the baton to the
+// coordinator so pending events can run in parallel rounds; self's resume
+// is already queued and will be delivered by its shard worker.
+func (e *Engine) globalDispatch(self *Proc) {
+	sh := e.sh
+	for {
+		if len(e.queue) == 0 || sh.pins.Load() == 0 {
+			e.current = nil
+			e.root <- struct{}{}
+			if self != nil {
+				<-self.resume
+			}
+			return
+		}
+		ev := e.pop()
+		e.now = ev.at
+		if ev.proc == nil {
+			e.current = nil
+			e.stats.Callbacks++
+			ev.fire()
+			continue
+		}
+		if ev.proc == self {
+			e.current = self
+			return
+		}
+		e.transfer(ev.proc)
+		if self != nil {
+			<-self.resume
+		}
+		return
+	}
+}
+
+// mergeInboxes delivers round-boundary mailboxes into their destination
+// shards' queues, asserting conservativeness. It reports whether any event
+// moved. Runs on the coordinator between rounds; the round-end channel
+// handshake orders it after all shard-worker writes.
+func (e *Engine) mergeInboxes() bool {
+	moved := false
+	for _, dst := range e.sh.shards {
+		for src, box := range dst.inbox {
+			for _, ev := range box {
+				if ev.at < dst.now {
+					panic(fmt.Sprintf("sim: conservative violation: event from shard %d at %d is in shard %d's past (clock %d, lookahead %d)",
+						src, ev.at, dst.id, dst.now, e.sh.lookahead))
+				}
+				dst.queue = heapPush(dst.queue, ev)
+				moved = true
+			}
+			dst.inbox[src] = dst.inbox[src][:0]
+		}
+	}
+	return moved
+}
+
+// mergeToGlobal folds every shard queue and pin-park resume into the
+// global queue for a global phase. Heap order makes the result pop in
+// (at, key) order regardless of shard iteration order.
+func (e *Engine) mergeToGlobal() {
+	for _, s := range e.sh.shards {
+		for len(s.queue) > 0 {
+			var ev event
+			ev, s.queue = heapPop(s.queue)
+			e.push(ev)
+		}
+		for _, ev := range s.pending {
+			e.push(ev)
+		}
+		s.pending = s.pending[:0]
+		s.current = nil
+	}
+}
+
+// worker is a shard's host goroutine: it runs one quiescence round per
+// coordinator request.
+func (s *shard) worker() {
+	for range s.runCh {
+		s.drain()
+		s.doneCh <- struct{}{}
+	}
+}
+
+// drain runs the shard's queue to quiescence: the round ends when every
+// process on the shard has parked, blocked on a future event, or exited.
+func (s *shard) drain() {
+	for len(s.queue) > 0 {
+		var ev event
+		ev, s.queue = heapPop(s.queue)
+		s.stats.Events++
+		s.now = ev.at
+		if ev.proc == nil {
+			s.current = nil
+			s.stats.Callbacks++
+			ev.fire()
+			continue
+		}
+		s.transfer(ev.proc)
+		<-s.root
+	}
+	s.current = nil
+}
+
+// transfer hands the shard baton to q (see Engine.transfer).
+func (s *shard) transfer(q *Proc) {
+	s.stats.Handoffs++
+	s.current = q
+	if !q.started {
+		q.started = true
+		go q.run()
+		return
+	}
+	q.resume <- struct{}{}
+}
+
+// scheduleResume queues a resume of p on its shard at time t with a
+// shard-banded key.
+func (s *shard) scheduleResume(p *Proc, t Time) {
+	s.seq++
+	s.queue = heapPush(s.queue, event{at: t, key: s.key(s.seq), proc: p})
+}
+
+// dispatch is the shard-local dispatch loop, the parallel-round analogue
+// of Engine.dispatch. When the shard quiesces it returns the baton to the
+// shard worker; a blocked self resumes in a later round or global phase.
+func (s *shard) dispatch(self *Proc) {
+	for {
+		if len(s.queue) == 0 {
+			s.current = nil
+			s.root <- struct{}{}
+			if self != nil {
+				<-self.resume
+			}
+			return
+		}
+		var ev event
+		ev, s.queue = heapPop(s.queue)
+		s.stats.Events++
+		s.now = ev.at
+		if ev.proc == nil {
+			s.current = nil
+			s.stats.Callbacks++
+			ev.fire()
+			continue
+		}
+		if ev.proc == self {
+			s.current = self
+			return
+		}
+		s.transfer(ev.proc)
+		if self != nil {
+			<-self.resume
+		}
+		return
+	}
+}
+
+// advanceSharded is Proc.Advance for processes of a sharded engine, in
+// both phases. The fast/slow path split is identical to the serial kernel,
+// applied to whichever queue+clock currently governs the process.
+func (p *Proc) advanceSharded(d Time) {
+	e := p.eng
+	if !e.sh.parallel {
+		if d > 0 && (len(e.queue) == 0 || e.queue[0].at > e.now+d) {
+			e.now += d
+			e.stats.FastAdvances++
+			return
+		}
+		e.scheduleResume(p, e.now+d)
+		e.globalDispatch(p)
+		return
+	}
+	s := p.shd
+	if d > 0 && (len(s.queue) == 0 || s.queue[0].at > s.now+d) {
+		s.now += d
+		s.stats.FastAdvances++
+		return
+	}
+	s.scheduleResume(p, s.now+d)
+	s.dispatch(p)
+}

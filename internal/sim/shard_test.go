@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// miniBarrier is a test-local barrier over the keyed-wake primitive,
+// shaped like the rma layer's: arrival slots, an atomic counter, and a
+// release time max(arrivals) + latency with rank-keyed wakes.
+type miniBarrier struct {
+	n       int
+	latency Time
+	procs   []*Proc
+	slots   []atomic.Int64
+	count   atomic.Int32
+}
+
+func newMiniBarrier(n int, latency Time) *miniBarrier {
+	return &miniBarrier{
+		n:       n,
+		latency: latency,
+		procs:   make([]*Proc, n),
+		slots:   make([]atomic.Int64, n),
+	}
+}
+
+func (b *miniBarrier) wait(p *Proc, rank int) {
+	if b.n == 1 {
+		return
+	}
+	b.slots[rank].Store(p.Now())
+	if int(b.count.Add(1)) == b.n {
+		rel := Time(0)
+		for i := range b.slots {
+			if t := b.slots[i].Load(); t > rel {
+				rel = t
+			}
+		}
+		rel += b.latency
+		b.count.Store(0)
+		for r, q := range b.procs {
+			p.ScheduleWake(q, rel, uint64(r))
+		}
+	}
+	p.Park()
+}
+
+// runLockstep runs nproc processes for steps rounds of deterministic but
+// rank-skewed compute separated by barriers, and returns each process's
+// observed time after every barrier.
+func runLockstep(t *testing.T, eng *Engine, nproc, steps int, latency Time) [][]Time {
+	t.Helper()
+	times := make([][]Time, nproc)
+	bar := newMiniBarrier(nproc, latency)
+	shards := eng.Shards()
+	for i := 0; i < nproc; i++ {
+		rank := i
+		p := eng.SpawnOn(rank*shards/nproc, fmt.Sprintf("p%d", rank), func(p *Proc) {
+			for s := 0; s < steps; s++ {
+				p.Advance(Time(100 * (rank + 1) * (s + 1)))
+				bar.wait(p, rank)
+				times[rank] = append(times[rank], p.Now())
+			}
+		})
+		bar.procs[rank] = p
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return times
+}
+
+// TestShardedMatchesSerial checks that the sharded engine produces exactly
+// the serial engine's virtual timeline for a barrier-synchronized
+// workload, for several shard counts.
+func TestShardedMatchesSerial(t *testing.T) {
+	const nproc, steps = 8, 5
+	const latency = Time(1200)
+	want := runLockstep(t, NewEngine(), nproc, steps, latency)
+	for _, shards := range []int{2, 4, 8} {
+		eng := NewEngineShards(shards, latency)
+		if eng.Shards() != shards {
+			t.Fatalf("Shards() = %d, want %d", eng.Shards(), shards)
+		}
+		got := runLockstep(t, eng, nproc, steps, latency)
+		for r := range want {
+			for s := range want[r] {
+				if got[r][s] != want[r][s] {
+					t.Fatalf("shards=%d rank %d step %d: time %d, want %d", shards, r, s, got[r][s], want[r][s])
+				}
+			}
+		}
+		st := eng.Stats()
+		if st.Rounds == 0 || st.Splits == 0 {
+			t.Fatalf("shards=%d: expected parallel rounds to run, stats %+v", shards, st)
+		}
+	}
+}
+
+// TestShardedPinGlobal checks that pinned sections are globally
+// serialized: concurrent-looking increments of an unsynchronized counter
+// are safe when bracketed by PinGlobal/UnpinGlobal, and the engine
+// returns to parallel rounds after the last unpin.
+func TestShardedPinGlobal(t *testing.T) {
+	const nproc = 8
+	const latency = Time(1000)
+	eng := NewEngineShards(4, latency)
+	bar := newMiniBarrier(nproc, latency)
+	var counter int // deliberately unsynchronized; only pinned sections touch it
+	order := make([]int, 0, nproc)
+	for i := 0; i < nproc; i++ {
+		rank := i
+		p := eng.SpawnOn(rank/2, fmt.Sprintf("p%d", rank), func(p *Proc) {
+			p.Advance(Time(10 * (rank + 1)))
+			p.PinGlobal()
+			if got, want := p.Now(), Time(10*(rank+1)); got != want {
+				t.Errorf("rank %d pinned at %d, want %d", rank, got, want)
+			}
+			counter++
+			order = append(order, rank)
+			p.Advance(5)
+			p.UnpinGlobal()
+			bar.wait(p, rank)
+			p.Advance(Time(100 * (rank + 1)))
+		})
+		bar.procs[rank] = p
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if counter != nproc {
+		t.Fatalf("counter = %d, want %d", counter, nproc)
+	}
+	// Pin resumes carry (time, shard-banded key) ordering: rank order here.
+	for i, r := range order {
+		if r != i {
+			t.Fatalf("pinned sections ran in order %v, want ranks in order", order)
+		}
+	}
+	if eng.Stats().Splits < 2 {
+		t.Fatalf("expected a re-split after the last unpin, stats %+v", eng.Stats())
+	}
+}
+
+// TestShardedDeadlock checks that a process parked forever is reported
+// across shard boundaries.
+func TestShardedDeadlock(t *testing.T) {
+	eng := NewEngineShards(2, 100)
+	eng.SpawnOn(0, "ok", func(p *Proc) { p.Advance(50) })
+	eng.SpawnOn(1, "stuck", func(p *Proc) { p.Park() })
+	err := eng.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("Run = %v, want DeadlockError", err)
+	}
+	if len(de.Parked) != 1 || de.Parked[0] != "stuck(parked)" {
+		t.Fatalf("Parked = %v", de.Parked)
+	}
+}
+
+// TestShardedFinalClock checks Engine.Now after Run reflects the furthest
+// shard.
+func TestShardedFinalClock(t *testing.T) {
+	eng := NewEngineShards(2, 100)
+	eng.SpawnOn(0, "short", func(p *Proc) { p.Advance(10) })
+	eng.SpawnOn(1, "long", func(p *Proc) { p.Advance(12345) })
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if eng.Now() != 12345 {
+		t.Fatalf("Now = %d, want 12345", eng.Now())
+	}
+}
+
+// TestNewEngineShardsDegenerate checks that one shard yields a plain
+// serial engine.
+func TestNewEngineShardsDegenerate(t *testing.T) {
+	eng := NewEngineShards(1, 0)
+	if eng.sh != nil {
+		t.Fatal("NewEngineShards(1) should be a serial engine")
+	}
+	if eng.Shards() != 1 || eng.Lookahead() != 0 {
+		t.Fatalf("Shards=%d Lookahead=%d", eng.Shards(), eng.Lookahead())
+	}
+	done := false
+	p := eng.Spawn("p", func(p *Proc) {
+		p.PinGlobal() // no-ops on serial engines
+		p.UnpinGlobal()
+		p.ScheduleWake(eng.Current(), 10, 0) // self-wake via keyed event
+		p.Park()
+		done = true
+	})
+	_ = p
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !done || eng.Now() != 10 {
+		t.Fatalf("done=%v now=%d", done, eng.Now())
+	}
+}
+
+// TestKeyedWakeOrder checks that keyed wakes at one instant fire in key
+// order and after FIFO events of the same instant.
+func TestKeyedWakeOrder(t *testing.T) {
+	eng := NewEngine()
+	var order []string
+	ps := make([]*Proc, 3)
+	for i := range ps {
+		name := fmt.Sprintf("w%d", i)
+		i := i
+		ps[i] = eng.Spawn(name, func(p *Proc) {
+			p.Park()
+			order = append(order, fmt.Sprintf("wake%d", i))
+		})
+	}
+	eng.Spawn("driver", func(p *Proc) {
+		// Schedule keyed wakes in reverse key order; then a FIFO event at
+		// the same instant, which must still fire first.
+		for i := len(ps) - 1; i >= 0; i-- {
+			p.ScheduleWake(ps[i], 100, uint64(i))
+		}
+		eng.At(100, func() { order = append(order, "fifo") })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"fifo", "wake0", "wake1", "wake2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

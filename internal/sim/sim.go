@@ -35,6 +35,16 @@
 // None of this changes simulated timestamps: the fast paths are taken only
 // when the slow path would produce the identical schedule, and the golden
 // digest tests in internal/bench pin that equivalence down.
+//
+// # Parallel host execution
+//
+// Engines created by NewEngineShards relax the one-goroutine invariant:
+// processes are assigned to shards, each with its own event queue and
+// clock, and shards drain conservative time windows on separate host
+// goroutines (see shard.go for the protocol and its determinism argument).
+// The serial engine from NewEngine is unchanged — everything above still
+// holds for it — and a sharded engine degenerates to it when asked for one
+// shard.
 package sim
 
 import (
@@ -56,12 +66,31 @@ const (
 
 // event is one queue entry, stored by value: either a process resume
 // (proc != nil) or an engine-context callback (fire != nil).
+//
+// key is the tie-break within an instant. Events created in engine or
+// process context get the next value of a FIFO counter (scheduling order,
+// exactly the pre-parallel kernel's behaviour); events created by
+// Proc.ScheduleWake carry a caller-chosen key in a space that sorts after
+// all FIFO keys, so their relative order is a property of the workload
+// (e.g. rank number), not of which host goroutine created them first. The
+// parallel engine's cross-shard merge depends on that location-independence.
 type event struct {
-	at   Time
-	seq  uint64
-	proc *Proc
-	fire func()
+	at    Time
+	key   uint64
+	proc  *Proc
+	fire  func()
+	shard int32 // owning shard for fire events (sharded engines only)
 }
+
+// Key spaces for event.key. FIFO keys count up from zero; each shard's
+// parallel-round keys live in a disjoint band above them; keyed wakes sort
+// last within an instant in every mode.
+const (
+	keyShardShift = 40                           // FIFO counters stay below 1<<40
+	keyedBase     = uint64(1) << 63              // ScheduleWake keys
+	keyedMask     = keyedBase - 1                // caller key must fit below keyedBase
+	keyShardMask  = uint64(1)<<keyShardShift - 1 // per-shard FIFO width
+)
 
 // EngineStats counts kernel activity for observability. All counters are
 // host-side bookkeeping: reading or resetting them never affects virtual
@@ -72,19 +101,27 @@ type EngineStats struct {
 	Handoffs     uint64 // baton transfers between process goroutines
 	Callbacks    uint64 // engine-context callbacks fired
 	Spawns       uint64 // processes created
+	Rounds       uint64 // parallel rounds completed (sharded engines)
+	Splits       uint64 // global→parallel transitions (sharded engines)
 }
 
 // Engine is a discrete-event simulation engine. The zero value is not
-// usable; create engines with NewEngine.
+// usable; create engines with NewEngine (serial) or NewEngineShards
+// (parallel host execution, see shard.go).
 type Engine struct {
 	now     Time
-	queue   []event // 4-ary min-heap ordered by (at, seq)
+	queue   []event // 4-ary min-heap ordered by (at, key)
 	seq     uint64
 	root    chan struct{} // dispatch returns the baton to Run when the queue drains
 	live    map[*Proc]struct{}
 	parked  map[*Proc]struct{}
 	current *Proc
 	stats   EngineStats
+
+	// sh is non-nil for engines created by NewEngineShards with more than
+	// one shard. All parallel behaviour hangs off it; when nil, every path
+	// below is the serial kernel unchanged.
+	sh *sharded
 }
 
 // NewEngine returns a new engine with the clock at zero and no pending
@@ -100,21 +137,41 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Stats returns the cumulative kernel counters.
-func (e *Engine) Stats() EngineStats { return e.stats }
+// Stats returns the cumulative kernel counters. On a sharded engine the
+// per-shard counters are folded in; call it only while the engine is idle
+// or in a global phase. Counter values (Handoffs, FastAdvances, ...) are
+// host-execution details and may legitimately differ between shard counts
+// even though all simulated observables are bit-identical.
+func (e *Engine) Stats() EngineStats {
+	s := e.stats
+	if e.sh != nil {
+		s.Rounds = e.sh.rounds
+		s.Splits = e.sh.splits
+		for _, shd := range e.sh.shards {
+			s.Events += shd.stats.Events
+			s.FastAdvances += shd.stats.FastAdvances
+			s.Handoffs += shd.stats.Handoffs
+			s.Callbacks += shd.stats.Callbacks
+			s.Spawns += shd.stats.Spawns
+		}
+	}
+	return s
+}
 
-// eventLess orders the heap by deadline, then by scheduling order (FIFO
-// within an instant).
+// eventLess orders the heap by deadline, then by tie-break key (FIFO
+// within an instant for engine- and process-scheduled events).
 func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	return a.key < b.key
 }
 
-// push inserts ev into the 4-ary heap.
-func (e *Engine) push(ev event) {
-	q := append(e.queue, ev)
+// heapPush inserts ev into the 4-ary heap held in q and returns the
+// (possibly reallocated) slice. Shared by the serial queue and the
+// per-shard queues.
+func heapPush(q []event, ev event) []event {
+	q = append(q, ev)
 	i := len(q) - 1
 	for i > 0 {
 		p := (i - 1) / 4
@@ -124,19 +181,16 @@ func (e *Engine) push(ev event) {
 		q[i], q[p] = q[p], q[i]
 		i = p
 	}
-	e.queue = q
+	return q
 }
 
-// pop removes and returns the earliest event.
-func (e *Engine) pop() event {
-	e.stats.Events++
-	q := e.queue
+// heapPop removes and returns the earliest event from the heap in q.
+func heapPop(q []event) (event, []event) {
 	top := q[0]
 	n := len(q) - 1
 	q[0] = q[n]
 	q[n] = event{} // drop the proc/closure reference for GC
 	q = q[:n]
-	e.queue = q
 	i := 0
 	for {
 		min := i
@@ -156,32 +210,69 @@ func (e *Engine) pop() event {
 		q[i], q[min] = q[min], q[i]
 		i = min
 	}
+	return top, q
+}
+
+// push inserts ev into the engine's serial/global queue.
+func (e *Engine) push(ev event) { e.queue = heapPush(e.queue, ev) }
+
+// pop removes and returns the earliest event from the serial/global queue.
+func (e *Engine) pop() event {
+	e.stats.Events++
+	top, q := heapPop(e.queue)
+	e.queue = q
 	return top
 }
 
 // At schedules fn to run in engine context at time t. fn must not block;
 // it runs between process executions. Scheduling in the past is an error.
+// On a sharded engine, At may only be called before Run or while the
+// engine is in its global (serial) phase.
 func (e *Engine) At(t Time, fn func()) {
+	if e.sh != nil && e.sh.parallel {
+		panic("sim: At called during a parallel round; use Proc.ScheduleWake or schedule before Run")
+	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	e.push(event{at: t, seq: e.seq, fire: fn})
+	ev := event{at: t, key: e.seq, fire: fn}
+	if cur := e.current; cur != nil && cur.shd != nil {
+		ev.shard = int32(cur.shd.id)
+	}
+	e.push(ev)
 }
 
 // After schedules fn to run in engine context after duration d.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
-// scheduleResume queues a resume of p at time t.
+// scheduleResume queues a resume of p at time t on the serial/global queue.
 func (e *Engine) scheduleResume(p *Proc, t Time) {
 	e.seq++
-	e.push(event{at: t, seq: e.seq, proc: p})
+	e.push(event{at: t, key: e.seq, proc: p})
 }
 
 // Spawn creates a new simulated process that will begin executing fn at the
 // current virtual time (after already-queued events for this instant).
-// The name is used in diagnostics only.
+// The name is used in diagnostics only. On a sharded engine the process
+// inherits the spawning process's shard (shard 0 from engine context); use
+// SpawnOn to choose a shard explicitly.
 func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	shard := 0
+	if e.sh != nil && e.current != nil && e.current.shd != nil {
+		shard = e.current.shd.id
+	}
+	return e.SpawnOn(shard, name, fn)
+}
+
+// SpawnOn is Spawn with an explicit shard assignment. The process's events
+// run on that shard's host worker during parallel rounds. On a serial
+// engine the shard index is ignored. SpawnOn may only be called before Run
+// or during a global phase.
+func (e *Engine) SpawnOn(shard int, name string, fn func(*Proc)) *Proc {
+	if e.sh != nil && e.sh.parallel {
+		panic("sim: Spawn during a parallel round")
+	}
 	p := &Proc{
 		Name:   name,
 		eng:    e,
@@ -189,7 +280,12 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 		body:   fn,
 	}
 	e.stats.Spawns++
-	e.live[p] = struct{}{}
+	if e.sh != nil {
+		p.shd = e.sh.shards[shard]
+		p.shd.live[p] = struct{}{}
+	} else {
+		e.live[p] = struct{}{}
+	}
 	e.scheduleResume(p, e.now)
 	return p
 }
@@ -222,6 +318,16 @@ func (p *Proc) run() {
 func (p *Proc) exit() {
 	e := p.eng
 	p.dead = true
+	if p.shd != nil {
+		delete(p.shd.live, p)
+		delete(p.shd.parked, p)
+		if e.sh.parallel {
+			p.shd.dispatch(nil)
+		} else {
+			e.globalDispatch(nil)
+		}
+		return
+	}
 	delete(e.live, p)
 	delete(e.parked, p)
 	e.dispatch(nil)
@@ -288,8 +394,11 @@ func (d *DeadlockError) Error() string {
 
 // Run executes events until the queue is empty. It returns a *DeadlockError
 // if any process is still alive (parked forever) when the queue drains, and
-// nil otherwise.
+// nil otherwise. Run may be called at most once on a sharded engine.
 func (e *Engine) Run() error {
+	if e.sh != nil {
+		return e.runSharded()
+	}
 	for len(e.queue) > 0 {
 		ev := e.pop()
 		e.now = ev.at
@@ -327,6 +436,7 @@ type Proc struct {
 	Name string
 
 	eng     *Engine
+	shd     *shard // nil on serial engines
 	resume  chan struct{}
 	body    func(*Proc)
 	started bool
@@ -342,8 +452,14 @@ type Proc struct {
 // Engine returns the engine this process belongs to.
 func (p *Proc) Engine() *Engine { return p.eng }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.eng.now }
+// Now returns the current virtual time: the process's shard clock during
+// parallel rounds, the global clock otherwise.
+func (p *Proc) Now() Time {
+	if p.shd != nil && p.eng.sh.parallel {
+		return p.shd.now
+	}
+	return p.eng.now
+}
 
 // Advance blocks the process for d nanoseconds of virtual time, modelling
 // local computation or fixed-cost operations. Advance(0) yields without
@@ -365,6 +481,10 @@ func (p *Proc) Advance(d Time) {
 		d = d * p.scaleNum / p.scaleDen
 	}
 	e := p.eng
+	if p.shd != nil {
+		p.advanceSharded(d)
+		return
+	}
 	if d > 0 && (len(e.queue) == 0 || e.queue[0].at > e.now+d) {
 		e.now += d
 		e.stats.FastAdvances++
@@ -398,6 +518,15 @@ func (p *Proc) Park() {
 		return
 	}
 	p.parked = true
+	if p.shd != nil {
+		p.shd.parked[p] = struct{}{}
+		if p.eng.sh.parallel {
+			p.shd.dispatch(p)
+		} else {
+			p.eng.globalDispatch(p)
+		}
+		return
+	}
 	p.eng.parked[p] = struct{}{}
 	p.eng.dispatch(p)
 }
@@ -405,13 +534,26 @@ func (p *Proc) Park() {
 // Wake unparks p at the current virtual time. If p is not parked, a permit
 // is stored and the next Park returns immediately. Each Wake grants exactly
 // one Park.
+//
+// During a parallel round, Wake may only target a process on the caller's
+// own shard; cross-shard wakeups must go through Proc.ScheduleWake, which
+// routes them via the window-boundary mailboxes.
 func (p *Proc) Wake() {
 	e := p.eng
-	if p.parked {
-		p.parked = false
-		delete(e.parked, p)
-		e.scheduleResume(p, e.now)
+	if !p.parked {
+		p.permits++
 		return
 	}
-	p.permits++
+	p.parked = false
+	if p.shd != nil {
+		delete(p.shd.parked, p)
+		if e.sh.parallel {
+			p.shd.scheduleResume(p, p.shd.now)
+		} else {
+			e.scheduleResume(p, e.now)
+		}
+		return
+	}
+	delete(e.parked, p)
+	e.scheduleResume(p, e.now)
 }

@@ -1,0 +1,126 @@
+// Command docscheck enforces the repo's godoc floor: every Go package must
+// have a package comment, and every exported top-level identifier of the
+// public API (the root ityr package) must have a doc comment. It walks the
+// module from the current directory with go/parser — no build, no network —
+// and exits nonzero listing every violation, so `make docscheck` (and CI)
+// fail when documentation regresses.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	// dir -> package has a package comment in at least one file.
+	pkgDoc := map[string]bool{}
+	pkgName := map[string]string{}
+	var bad []string
+
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("parse %s: %w", path, perr)
+		}
+		dir := filepath.Dir(path)
+		pkgName[dir] = f.Name.Name
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			pkgDoc[dir] = true
+		}
+		// The root package is the public API: exported decls need docs.
+		if dir == root && f.Name.Name != "main" {
+			bad = append(bad, undocumentedExports(fset, f)...)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+
+	var dirs []string
+	for dir := range pkgName {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		if !pkgDoc[dir] {
+			bad = append(bad, fmt.Sprintf("%s: package %s has no package comment", dir, pkgName[dir]))
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		for _, b := range bad {
+			fmt.Fprintln(os.Stderr, b)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d violation(s)\n", len(bad))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d packages documented\n", len(dirs))
+}
+
+// undocumentedExports lists exported top-level identifiers in f that lack a
+// doc comment.
+func undocumentedExports(fset *token.FileSet, f *ast.File) []string {
+	var bad []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		bad = append(bad, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			// Methods included: an exported method on an exported type is
+			// API surface too.
+			if d.Name.IsExported() && d.Doc == nil {
+				report(d.Pos(), "function", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A doc on the grouped decl ("// Policies ...") or the
+					// spec or a trailing line comment all count.
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), "value", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}

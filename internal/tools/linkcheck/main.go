@@ -1,0 +1,130 @@
+// Command linkcheck validates the repo's markdown: every intra-repo link
+// target must exist (files and same-document heading anchors), and code
+// fences must be balanced. External http(s) links are skipped — the check
+// runs offline and must stay deterministic. Exits nonzero listing every
+// broken link so `make linkcheck` (and CI) catch doc rot.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Reference-style
+// links and autolinks are rare in this repo and intentionally out of scope.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		files = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"}
+	}
+	bad := 0
+	for _, file := range files {
+		for _, msg := range checkFile(file) {
+			fmt.Fprintln(os.Stderr, msg)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d problem(s)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d file(s) clean\n", len(files))
+}
+
+func checkFile(file string) []string {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", file, err)}
+	}
+	lines := strings.Split(string(data), "\n")
+	anchors := headingAnchors(lines)
+
+	var bad []string
+	inFence := false
+	fenceLine := 0
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			if inFence {
+				inFence = false
+			} else {
+				inFence = true
+				fenceLine = i + 1
+			}
+			continue
+		}
+		if inFence {
+			continue // links inside code blocks are examples, not references
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if msg := checkTarget(file, target, anchors); msg != "" {
+				bad = append(bad, fmt.Sprintf("%s:%d: %s", file, i+1, msg))
+			}
+		}
+	}
+	if inFence {
+		bad = append(bad, fmt.Sprintf("%s:%d: unclosed code fence (``` opened here never closes)", file, fenceLine))
+	}
+	return bad
+}
+
+func checkTarget(file, target string, anchors map[string]bool) string {
+	switch {
+	case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return "" // external: skipped, the check runs offline
+	case strings.HasPrefix(target, "#"):
+		if !anchors[strings.ToLower(target[1:])] {
+			return fmt.Sprintf("anchor %q has no matching heading", target)
+		}
+		return ""
+	}
+	path := target
+	if i := strings.IndexByte(path, '#'); i >= 0 {
+		path = path[:i]
+	}
+	if path == "" {
+		return ""
+	}
+	resolved := filepath.Join(filepath.Dir(file), path)
+	if _, err := os.Stat(resolved); err != nil {
+		return fmt.Sprintf("link target %q does not exist (resolved %s)", target, resolved)
+	}
+	return ""
+}
+
+// headingAnchors maps every markdown heading to its GitHub-style anchor:
+// lowercase, spaces and punctuation collapsed to hyphens.
+func headingAnchors(lines []string) map[string]bool {
+	anchors := map[string]bool{}
+	inFence := false
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		text := strings.TrimLeft(trimmed, "#")
+		text = strings.TrimSpace(text)
+		var b strings.Builder
+		for _, r := range strings.ToLower(text) {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+				b.WriteRune(r)
+			case r == ' ', r == '-':
+				b.WriteByte('-')
+			}
+		}
+		anchors[b.String()] = true
+	}
+	return anchors
+}
