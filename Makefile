@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-all golden faults bench hostperf docscheck linkcheck
+.PHONY: check fmt vet build test shuffle race race-all golden faults bench hostperf docscheck linkcheck perf perfgate perf-baseline
 
-check: fmt vet build test race golden faults docscheck linkcheck
+check: fmt vet build test shuffle race golden faults docscheck linkcheck perfgate
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -23,6 +23,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Same suite in a shuffled order to flush test-order dependencies.
+# -count=1 defeats the cache (a cached run would reuse the ordered pass).
+shuffle:
+	$(GO) test -shuffle=on -count=1 ./...
 
 race:
 	$(GO) test -race ./internal/sim ./internal/rma
@@ -51,6 +56,20 @@ bench:
 
 hostperf:
 	$(GO) run ./cmd/itybench -hostperf BENCH_sim.json -count 3 -procs 8
+
+# Deterministic perf suite: simulated time, RMA round trips and bytes per
+# experiment at smoke scale. Bit-identical on every host, so perfgate can
+# hold the numbers to the checked-in BENCH_baseline.json within ±2%.
+perf:
+	$(GO) run ./cmd/itybench -perf BENCH_perf.json -scale smoke
+
+perfgate: perf
+	$(GO) run ./internal/tools/perfgate -baseline BENCH_baseline.json -current BENCH_perf.json
+
+# Regenerate the checked-in baseline after an intentional perf change
+# (perfgate fails on unre-baselined improvements too); commit the result.
+perf-baseline:
+	$(GO) run ./cmd/itybench -perf BENCH_baseline.json -scale smoke
 
 # Documentation gates: every package keeps a package comment (and the public
 # ityr package keeps per-identifier docs); markdown links and code fences in

@@ -39,6 +39,7 @@ func main() {
 	profile := flag.Bool("profile", false, "print the profiler breakdown")
 	traceFile := flag.String("tracefile", "", "write a Chrome-tracing JSON event log to this file")
 	traceDump, metricsFile := obs.Flags()
+	coalesce, prefetch := obs.BatchFlags()
 	flag.Parse()
 
 	pol, err := parsePolicy(*policy)
@@ -53,6 +54,7 @@ func main() {
 		Seed:         *seed,
 		Trace:        *traceFile != "" || *traceDump != "",
 	}
+	obs.ApplyBatch(&cfg.Pgas, *coalesce, *prefetch)
 	rt := ityr.NewRuntime(cfg)
 	var sortTime ityr.Time
 	ok := true

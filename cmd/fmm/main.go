@@ -30,6 +30,7 @@ func main() {
 	verify := flag.Bool("verify", false, "verify against direct summation (O(N²) on the host)")
 	mpi := flag.Bool("mpi", false, "also run the static MPI baseline model")
 	traceDump, metricsFile := obs.Flags()
+	coalesce, prefetch := obs.BatchFlags()
 	flag.Parse()
 
 	var pol ityr.Policy
@@ -60,12 +61,14 @@ func main() {
 	}
 	p := fmm.Params{N: *n, Theta: *theta, NCrit: *ncrit, NSpawn: *nspawn, Seed: *seed, Dist: d}
 
-	rt := ityr.NewRuntime(ityr.Config{
+	cfg := ityr.Config{
 		Ranks: *ranks, CoresPerNode: *cores,
 		Pgas:  ityr.PgasConfig{Policy: pol},
 		Seed:  *seed,
 		Trace: *traceDump != "",
-	})
+	}
+	obs.ApplyBatch(&cfg.Pgas, *coalesce, *prefetch)
+	rt := ityr.NewRuntime(cfg)
 	var evalTime ityr.Time
 	var result []fmm.Body
 	err := rt.Run(func(s *ityr.SPMD) {

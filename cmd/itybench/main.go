@@ -19,6 +19,13 @@
 //	                         # the apps under the canned fault plans
 //	                         # (link degradation, flaky RMA, straggler),
 //	                         # outputs verified, written as JSON
+//	itybench -perf BENCH_perf.json -scale smoke
+//	                         # deterministic perf suite: simulated time, RMA
+//	                         # round trips and bytes per experiment, written
+//	                         # as JSON for the perfgate CI job
+//	itybench -coalesce=false -prefetch 0
+//	                         # run any experiment with the cache
+//	                         # communication batching disabled
 package main
 
 import (
@@ -40,12 +47,16 @@ func main() {
 	procs := flag.Int("procs", 1, "host worker shards for the engine; with -hostperf, the sweep's upper bound (1,2,4,... up to N). Simulated results are identical for any value")
 	metricsFile := flag.String("metrics", "", "run the canonical cilksort config and write its runtime-metrics JSON snapshot to this file ('-' for stdout)")
 	faultsFile := flag.String("faults", "", "run the apps under the canned fault plans and write the JSON report to this file ('-' for stdout)")
+	perfFile := flag.String("perf", "", "run the deterministic perf suite (simulated time, round trips, RMA bytes per experiment) and write the JSON report to this file ('-' for stdout); gate it with internal/tools/perfgate")
+	coalesce := flag.Bool("coalesce", true, "coalesce adjacent dirty regions into merged write-back puts (cache communication batching)")
+	prefetch := flag.Int("prefetch", 2, "sequential-access prefetch depth in blocks, 0 to disable (cache communication batching)")
 	flag.Parse()
 
 	// Shard the simulation engine across host workers. Every experiment's
 	// simulated output is bit-identical for any -procs value; this only
 	// changes how fast the host gets there.
 	bench.SetHostProcs(*procs)
+	bench.SetCacheBatching(*coalesce, *prefetch)
 
 	if *hostperf != "" {
 		// Human summary goes to stderr when the JSON itself claims stdout,
@@ -116,6 +127,28 @@ func main() {
 		}
 		if bad > 0 {
 			fmt.Fprintf(os.Stderr, "%d run(s) failed output verification\n", bad)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *perfFile != "" {
+		summary := io.Writer(os.Stdout)
+		out := os.Stdout
+		if *perfFile == "-" {
+			summary = os.Stderr
+		} else {
+			f, err := os.Create(*perfFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		rep := bench.PerfSuite(summary, sc)
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return

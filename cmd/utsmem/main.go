@@ -22,6 +22,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "scheduler seed")
 	classic := flag.Bool("classic", false, "run the original memory-free UTS instead of UTS-Mem")
 	traceDump, metricsFile := obs.Flags()
+	coalesce, prefetch := obs.BatchFlags()
 	flag.Parse()
 
 	var tree uts.Tree
@@ -49,12 +50,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	rt := ityr.NewRuntime(ityr.Config{
+	cfg := ityr.Config{
 		Ranks: *ranks, CoresPerNode: *cores,
 		Pgas:  ityr.PgasConfig{Policy: pol},
 		Seed:  *seed,
 		Trace: *traceDump != "",
-	})
+	}
+	obs.ApplyBatch(&cfg.Pgas, *coalesce, *prefetch)
+	rt := ityr.NewRuntime(cfg)
 	var buildTime, travTime ityr.Time
 	var built, counted int64
 	err := rt.Run(func(s *ityr.SPMD) {

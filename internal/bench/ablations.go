@@ -136,7 +136,7 @@ func AblationFMMTheta(w io.Writer, sc Scale) {
 	fmt.Fprintf(w, "\n== Ablation: FMM θ sweep (%d bodies, %d ranks) ==\n", n, sc.FixedRanks)
 	for _, theta := range []float64{0.2, 0.3, 0.5} {
 		p := fmm.Params{N: n, Theta: theta, NCrit: 32, NSpawn: sc.FMMNSpawn, Seed: 7}
-		t := FMMRun(p, sc.FixedRanks, sc.CoresPerNode, ityr.WriteBackLazy, 9)
+		t, _ := FMMRun(p, sc.FixedRanks, sc.CoresPerNode, ityr.WriteBackLazy, 9)
 		bodies := fmm.GenBodies(p.N, p.Seed)
 		cells := fmm.BuildTree(bodies, p.NCrit)
 		k := fmm.CountKernels(cells, theta)
@@ -198,10 +198,70 @@ func AblationFMMDistribution(w io.Writer, sc Scale) {
 		n, sc.FixedRanks, nodes)
 	for _, d := range []fmm.Dist{fmm.Cube, fmm.Sphere, fmm.Plummer} {
 		p := fmm.Params{N: n, Theta: sc.FMMTheta, NCrit: 32, NSpawn: sc.FMMNSpawn, Seed: 7, Dist: d}
-		t := FMMRun(p, sc.FixedRanks, sc.CoresPerNode, ityr.WriteBackLazy, 9)
+		t, _ := FMMRun(p, sc.FixedRanks, sc.CoresPerNode, ityr.WriteBackLazy, 9)
 		r := fmmmpi.Run(p, nodes, sc.CoresPerNode, net)
 		fmt.Fprintf(w, "  %-8s itoyori %8.3f ms | MPI %8.3f ms (idleness %.3f)\n",
 			d, ms(t), ms(r.Elapsed), r.Idleness)
+	}
+}
+
+// AblationBatching quantifies the cache communication-batching layer
+// (DESIGN.md §4.5): write-back coalescing and sequential prefetch,
+// separately and at increasing lookahead depth, on a Cilksort whose merge
+// phases stream sequentially through the distributed arrays — the pattern
+// both mechanisms target. Two block geometries bracket the effect: the
+// paper's 64 KiB blocks over block-cyclic arrays give the mechanisms
+// almost nothing to merge (adjacent same-home blocks sit nranks apart and
+// working sets span few blocks), so batching must be neutral there, while
+// 4 KiB blocks over a block distribution — the perf gate's
+// "communication microscope" geometry — expose the per-block structure
+// the mechanisms batch. Round trips are the paper's cost driver.
+// Coalescing only merges traffic the run would have issued anyway, so
+// its time is never worse; prefetch is speculative — it trades extra
+// fetched bytes (and occasionally a little time) for fewer round trips,
+// which is why the depth sweep is here and why the perf gate pins the
+// shipped depth.
+func AblationBatching(w io.Writer, sc Scale) {
+	n := sc.CilksortN
+	variants := []struct {
+		name     string
+		coalesce bool
+		prefetch int
+	}{
+		{"unbatched", false, 0},
+		{"coalesce", true, 0},
+		{"coalesce+pf1", true, 1},
+		{"coalesce+pf2", true, 2},
+		{"coalesce+pf4", true, 4},
+		{"coalesce+pf8", true, 8},
+	}
+	geoms := []struct {
+		name string
+		fine bool
+		dist ityr.DistPolicy
+	}{
+		{"paper geometry: 64 KiB blocks, block-cyclic", false, ityr.BlockCyclicDist},
+		{"fine geometry: 4 KiB blocks, block dist", true, ityr.BlockDist},
+	}
+	fmt.Fprintf(w, "\n== Ablation: cache communication batching (Cilksort %d elements, cutoff %d, %d ranks) ==\n",
+		n, sc.SortCutoff, sc.FixedRanks)
+	for _, g := range geoms {
+		fmt.Fprintf(w, " -- %s --\n", g.name)
+		for _, v := range variants {
+			cfg := runtimeConfig(sc.FixedRanks, sc.CoresPerNode, ityr.WriteBackLazy, 5)
+			if g.fine {
+				cfg.Pgas.BlockSize = 4 << 10
+				cfg.Pgas.SubBlockSize = 512
+			}
+			cfg.Pgas.CoalesceWriteBack = v.coalesce
+			cfg.Pgas.PrefetchBlocks = v.prefetch
+			t, rt := cilksortSortTime(cfg, n, sc.SortCutoff, g.dist)
+			st := rt.Comm().Stats()
+			b := rt.Space().Batch
+			fmt.Fprintf(w, "  %-14s sort %8.3f ms: %7d round trips, %5d wb ops, prefetch %4d hits / %d evicted unused\n",
+				v.name, ms(t), st.GetOps+st.PutOps+st.AtomicOps,
+				rt.Space().Stats.WriteBackOps, b.PrefetchHits, b.PrefetchMisses)
+		}
 	}
 }
 
@@ -216,6 +276,7 @@ func Ablations(w io.Writer, sc Scale) {
 	AblationLocalitySteals(w, sc)
 	AblationFMMDistribution(w, sc)
 	AblationOverlap(w, sc)
+	AblationBatching(w, sc)
 }
 
 // AblationOverlap compares blocking checkout fetches with

@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"testing"
+
+	"ityr"
+)
+
+// seedDigests are the TestKernelDeterminismGolden digests of the Smoke
+// cilksort configuration captured on the tree immediately before the cache
+// communication-batching layer (write-back coalescing + prefetch) was
+// added. They pin the layer's zero-cost-when-off contract.
+var seedDigests = map[ityr.Policy]string{
+	ityr.NoCache:       "elapsed=1072872 final=1155212 events=13515 fnv=f263a64ed20028ff",
+	ityr.WriteThrough:  "elapsed=578327 final=661067 events=13769 fnv=65aac4844bbc1689",
+	ityr.WriteBack:     "elapsed=590386 final=673126 events=13607 fnv=0a73ab85caa57462",
+	ityr.WriteBackLazy: "elapsed=597253 final=679993 events=13415 fnv=a2fb3109db2cdbc4",
+}
+
+// TestBatchingOffMatchesSeed proves that with CoalesceWriteBack off and
+// PrefetchBlocks zero the runtime reproduces the pre-batching seed digests
+// bit-identically — every simulated timestamp, traffic counter, profiler
+// bucket and trace event included. Any accidental cost or behaviour change
+// on the knobs-off path shows up here as a digest mismatch.
+func TestBatchingOffMatchesSeed(t *testing.T) {
+	for _, pol := range ityr.Policies {
+		cfg := runtimeConfig(Smoke.FixedRanks, Smoke.CoresPerNode, pol, 11)
+		cfg.Pgas.CoalesceWriteBack = false
+		cfg.Pgas.PrefetchBlocks = 0
+		got := configDigest(t, cfg, Smoke.CilksortN, Smoke.Cutoffs[0])
+		if want := seedDigests[pol]; got != want {
+			t.Errorf("%s: knobs-off digest drifted from seed:\n  got:  %s\n  want: %s", pol, got, want)
+		}
+	}
+}

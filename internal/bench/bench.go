@@ -123,19 +123,41 @@ func SetHostProcs(n int) {
 	hostProcs = n
 }
 
+// cacheCoalesce / cachePrefetch are the cache communication-batching knobs
+// every experiment runtime uses (cmd/itybench's -coalesce / -prefetch
+// flags). Batching is on by default: the headline experiments report the
+// batched cache, and AblationBatching quantifies each knob's contribution.
+var (
+	cacheCoalesce = true
+	cachePrefetch = 2
+)
+
+// SetCacheBatching sets the write-back-coalescing and prefetch-depth knobs
+// for subsequent experiment runs. Negative depths are clamped to 0 (off).
+func SetCacheBatching(coalesce bool, prefetch int) {
+	if prefetch < 0 {
+		prefetch = 0
+	}
+	cacheCoalesce = coalesce
+	cachePrefetch = prefetch
+}
+
 // runtimeConfig assembles the paper-like machine configuration (Table 1,
 // scaled): 64 KiB blocks, 4 KiB sub-blocks, 16 MiB private cache per
-// process, block-cyclic collective distribution (chosen by the apps).
+// process, block-cyclic collective distribution (chosen by the apps), with
+// the communication-batching knobs applied.
 func runtimeConfig(ranks, coresPerNode int, pol ityr.Policy, seed int64) ityr.Config {
 	return ityr.Config{
 		Ranks:        ranks,
 		CoresPerNode: coresPerNode,
 		HostProcs:    hostProcs,
 		Pgas: ityr.PgasConfig{
-			BlockSize:    64 << 10,
-			SubBlockSize: 4 << 10,
-			CacheSize:    16 << 20,
-			Policy:       pol,
+			BlockSize:         64 << 10,
+			SubBlockSize:      4 << 10,
+			CacheSize:         16 << 20,
+			Policy:            pol,
+			CoalesceWriteBack: cacheCoalesce,
+			PrefetchBlocks:    cachePrefetch,
 		},
 		Seed: seed,
 	}
@@ -262,8 +284,9 @@ func Fig9(w io.Writer, sc Scale) []Row {
 	return rows
 }
 
-// UTSRun builds the tree, then measures traversal time and throughput.
-func UTSRun(tree uts.Tree, ranks, coresPerNode int, pol ityr.Policy, seed int64) (sim.Time, int64) {
+// UTSRun builds the tree, then measures traversal time and throughput,
+// returning the runtime as well for traffic-counter access.
+func UTSRun(tree uts.Tree, ranks, coresPerNode int, pol ityr.Policy, seed int64) (sim.Time, int64, *ityr.Runtime) {
 	rt := ityr.NewRuntime(runtimeConfig(ranks, coresPerNode, pol, seed))
 	var elapsed sim.Time
 	var nodes int64
@@ -283,7 +306,7 @@ func UTSRun(tree uts.Tree, ranks, coresPerNode int, pol ityr.Policy, seed int64)
 	if err != nil {
 		panic(err)
 	}
-	return elapsed, nodes
+	return elapsed, nodes, rt
 }
 
 // Fig10 regenerates Figure 10: UTS-Mem traversal throughput (nodes/s) for
@@ -295,7 +318,7 @@ func Fig10(w io.Writer, sc Scale) []Row {
 	for _, tree := range []uts.Tree{sc.UTSSmall, sc.UTSBig} {
 		for _, pol := range []ityr.Policy{ityr.NoCache, ityr.WriteBackLazy} {
 			for _, ranks := range sc.Ranks {
-				t, n := UTSRun(tree, ranks, sc.CoresPerNode, pol, 17)
+				t, n, _ := UTSRun(tree, ranks, sc.CoresPerNode, pol, 17)
 				tput := float64(n) / (float64(t) / 1e9)
 				fmt.Fprintf(w, "%-8s %-20s %7d %12.3f %16.0f\n", tree.Name, pol, ranks, ms(t), tput)
 				rows = append(rows, Row{Fig: "10", Workload: tree.Name, Policy: pol.String(),

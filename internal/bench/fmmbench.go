@@ -11,9 +11,16 @@ import (
 	"ityr/internal/sim"
 )
 
-// FMMRun evaluates the FMM and returns the evaluation time.
-func FMMRun(p fmm.Params, ranks, coresPerNode int, pol ityr.Policy, seed int64) sim.Time {
-	rt := ityr.NewRuntime(runtimeConfig(ranks, coresPerNode, pol, seed))
+// FMMRun evaluates the FMM and returns the evaluation time plus the
+// runtime for traffic-counter access.
+func FMMRun(p fmm.Params, ranks, coresPerNode int, pol ityr.Policy, seed int64) (sim.Time, *ityr.Runtime) {
+	return fmmEvalTime(runtimeConfig(ranks, coresPerNode, pol, seed), p)
+}
+
+// fmmEvalTime evaluates the FMM under an explicit runtime configuration,
+// returning the evaluation time and the runtime for stats.
+func fmmEvalTime(cfg ityr.Config, p fmm.Params) (sim.Time, *ityr.Runtime) {
+	rt := ityr.NewRuntime(cfg)
 	var elapsed sim.Time
 	err := rt.Run(func(s *ityr.SPMD) {
 		var pr fmm.Problem
@@ -32,7 +39,7 @@ func FMMRun(p fmm.Params, ranks, coresPerNode int, pol ityr.Policy, seed int64) 
 	if err != nil {
 		panic(err)
 	}
-	return elapsed
+	return elapsed, rt
 }
 
 // Fig11 regenerates Figure 11: ExaFMM execution time, strong scaling for
@@ -52,7 +59,7 @@ func Fig11(w io.Writer, sc Scale) []Row {
 		fmt.Fprintf(w, "%-10d %-20s %7d %12.3f %10s\n", n, "(serial model)", 1, ms(serial), "1.0")
 		for _, pol := range ityr.Policies {
 			for _, ranks := range sc.Ranks {
-				t := FMMRun(p, ranks, sc.CoresPerNode, pol, 29)
+				t, _ := FMMRun(p, ranks, sc.CoresPerNode, pol, 29)
 				sp := float64(serial) / float64(t)
 				fmt.Fprintf(w, "%-10d %-20s %7d %12.3f %10.1f\n", n, pol, ranks, ms(t), sp)
 				rows = append(rows, Row{Fig: "11", Workload: fmt.Sprintf("fmm-%d", n),

@@ -8,6 +8,7 @@ import (
 
 	"ityr"
 	"ityr/internal/apps/cilksort"
+	"ityr/internal/pgas"
 	"ityr/internal/sim"
 )
 
@@ -57,6 +58,12 @@ func configDigest(t *testing.T, cfg ityr.Config, n, cutoff int64) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "rma=%+v\n", rt.Comm().Stats())
 	fmt.Fprintf(h, "pgas=%+v\n", rt.Space().Stats)
+	// Batch stats join the digest only when nonzero, so digests of runs
+	// with the batching knobs off stay comparable across versions that
+	// predate the batching layer (pinned by TestBatchingOffMatchesSeed).
+	if b := rt.Space().Batch; b != (pgas.BatchStats{}) {
+		fmt.Fprintf(h, "batch=%+v\n", b)
+	}
 	fmt.Fprintf(h, "sched=%+v\n", rt.Sched().Stats)
 	bd := rt.Profiler().Breakdown(elapsed)
 	cats := make([]string, 0, len(bd))

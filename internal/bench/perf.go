@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ityr"
+	"ityr/internal/apps/fmm"
+	"ityr/internal/apps/halo"
+	"ityr/internal/rma"
+	"ityr/internal/sim"
+)
+
+// The perf suite measures what the deterministic simulator makes exactly
+// reproducible: simulated time and RMA traffic for a fixed set of
+// experiments. Because every number is bit-identical run-to-run on every
+// host, a CI job can gate on the recorded baseline with a tiny tolerance
+// (internal/tools/perfgate) instead of rerunning noisy wall-clock
+// benchmarks: a regression in communication volume or simulated time is a
+// code change, not a noisy neighbor.
+
+// PerfSchema identifies the BENCH_perf.json format.
+const PerfSchema = "itoyori-perf/v1"
+
+// PerfMetrics are one experiment's gated numbers.
+type PerfMetrics struct {
+	// SimNs is the simulated elapsed time of the measured phase in
+	// virtual nanoseconds.
+	SimNs int64 `json:"sim_ns"`
+	// RoundTrips counts RMA operations (gets + puts + atomics) across the
+	// whole run — the number the cache-batching layer exists to shrink.
+	RoundTrips uint64 `json:"round_trips"`
+	// RMABytes is the total payload moved (get bytes + put bytes).
+	RMABytes uint64 `json:"rma_bytes"`
+}
+
+func perfMetrics(t sim.Time, st rma.Stats) PerfMetrics {
+	return PerfMetrics{
+		SimNs:      int64(t),
+		RoundTrips: st.GetOps + st.PutOps + st.AtomicOps,
+		RMABytes:   st.GetBytes + st.PutBytes,
+	}
+}
+
+// PerfReport is the machine-readable result of PerfSuite, the input to
+// internal/tools/perfgate.
+type PerfReport struct {
+	Schema string `json:"schema"`
+	Scale  string `json:"scale"`
+	// Coalesce / Prefetch record the cache-batching knobs the suite ran
+	// with; perfgate refuses to compare reports taken under different
+	// knobs.
+	Coalesce    bool                   `json:"coalesce"`
+	Prefetch    int                    `json:"prefetch"`
+	Experiments map[string]PerfMetrics `json:"experiments"`
+}
+
+// perfConfig is the runtime configuration the cached perf-suite
+// experiments use: the standard machine with the block geometry scaled
+// down to 4 KiB blocks / 512 B sub-blocks. Smoke-scale working sets span
+// only a couple of the paper's 64 KiB blocks, which hides the per-block
+// communication structure this gate exists to watch; shrinking the block
+// keeps blocks-per-working-set near the full-scale ratio, so coalescing
+// and prefetch exercise the same code paths they do at full scale.
+func perfConfig(sc Scale, pol ityr.Policy, seed int64) ityr.Config {
+	cfg := runtimeConfig(sc.FixedRanks, sc.CoresPerNode, pol, seed)
+	cfg.Pgas.BlockSize = 4 << 10
+	cfg.Pgas.SubBlockSize = 512
+	return cfg
+}
+
+// PerfSuite runs the gated experiments at sc under the current batching
+// knobs and returns the report. Each experiment is one representative
+// configuration of an app the paper evaluates (§6), chosen for coverage of
+// the access patterns that stress the cache differently: cilksort
+// (streaming merges over a block distribution, the sequential-run regime
+// prefetch targets), fmm (irregular tree walks whose releases stress the
+// write-back path), uts (pointer chasing — batching should stay out of
+// the way), halo (raw SPMD RMA that bypasses the cache entirely — a
+// control whose numbers batching must not disturb).
+func PerfSuite(w io.Writer, sc Scale) PerfReport {
+	rep := PerfReport{
+		Schema:      PerfSchema,
+		Scale:       sc.Name,
+		Coalesce:    cacheCoalesce,
+		Prefetch:    cachePrefetch,
+		Experiments: map[string]PerfMetrics{},
+	}
+	fmt.Fprintf(w, "\n== Perf suite (%s scale, %d ranks, coalesce=%v prefetch=%d) ==\n",
+		sc.Name, sc.FixedRanks, cacheCoalesce, cachePrefetch)
+	fmt.Fprintf(w, "%-10s %14s %12s %14s\n", "experiment", "sim time (ms)", "round trips", "rma bytes")
+	add := func(name string, t sim.Time, st rma.Stats) {
+		m := perfMetrics(t, st)
+		rep.Experiments[name] = m
+		fmt.Fprintf(w, "%-10s %14.3f %12d %14d\n", name, ms(t), m.RoundTrips, m.RMABytes)
+	}
+
+	t, rt := cilksortSortTime(perfConfig(sc, ityr.WriteBackLazy, 11), sc.CilksortN, sc.SortCutoff, ityr.BlockDist)
+	add("cilksort", t, rt.Comm().Stats())
+
+	tf, rtf := fmmEvalTime(perfConfig(sc, ityr.WriteBackLazy, 29),
+		fmm.Params{N: sc.FMMSmallN, Theta: sc.FMMTheta, NCrit: 32, NSpawn: sc.FMMNSpawn, Seed: 21})
+	add("fmm", tf, rtf.Comm().Stats())
+
+	tu, rtu := utsTraversalTime(sc.UTSBig, perfConfig(sc, ityr.WriteBackLazy, 17))
+	add("uts", tu, rtu.Comm().Stats())
+
+	res, err := halo.Run(halo.Config{
+		Ranks:        sc.FixedRanks,
+		CoresPerNode: sc.CoresPerNode,
+		CellsPerRank: 256,
+		Steps:        20,
+		HostProcs:    hostProcs,
+	})
+	if err != nil {
+		panic(err)
+	}
+	add("halo", res.Elapsed, res.Stats)
+
+	return rep
+}
+
+// WriteJSON serializes the report as indented JSON.
+func (rep PerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadPerfReport parses a report written by WriteJSON.
+func ReadPerfReport(r io.Reader) (PerfReport, error) {
+	var rep PerfReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return PerfReport{}, fmt.Errorf("bench: parsing perf report: %w", err)
+	}
+	if rep.Schema != PerfSchema {
+		return PerfReport{}, fmt.Errorf("bench: perf report schema %q, want %q", rep.Schema, PerfSchema)
+	}
+	return rep, nil
+}

@@ -227,6 +227,17 @@ func (rt *Runtime) MetricsSnapshot() metrics.Snapshot {
 	reg.Counter("pgas_evictions").Set(ps.Evictions)
 	reg.Counter("pgas_lazy_releases").Set(ps.LazyReleases)
 
+	// Communication-batching counters (all zero unless the
+	// CoalesceWriteBack / PrefetchBlocks knobs are on).
+	bs := rt.space.Batch
+	reg.Counter("pgas_wb_runs_merged").Set(bs.WBRunsMerged)
+	reg.Counter("pgas_wb_coalesced_bytes").Set(bs.WBCoalescedBytes)
+	reg.Counter("pgas_prefetch_ops").Set(bs.PrefetchOps)
+	reg.Counter("pgas_prefetch_blocks").Set(bs.PrefetchedBlocks)
+	reg.Counter("pgas_prefetch_bytes").Set(bs.PrefetchBytes)
+	reg.Counter("pgas_prefetch_hits").Set(bs.PrefetchHits)
+	reg.Counter("pgas_prefetch_misses").Set(bs.PrefetchMisses)
+
 	us := rt.sched.Stats
 	reg.Counter("uth_forks").Set(us.Forks)
 	reg.Counter("uth_steals").Set(us.Steals)

@@ -44,6 +44,13 @@ type Block struct {
 	Mapped bool
 	// Home distinguishes home blocks from cache blocks.
 	Home bool
+	// Prefetched marks a cache block whose bytes were speculatively
+	// fetched by the pgas prefetcher and not yet touched by a demand
+	// checkout. The table never modifies it — Acquire deliberately leaves
+	// it alone when recycling a block, so the pgas layer can still read
+	// the evicted identity's flag (an eviction of a still-set flag is a
+	// wasted prefetch) before resetting it for the new identity.
+	Prefetched bool
 
 	prev, next *Block
 	table      *Table

@@ -1,9 +1,11 @@
-// Package obs is the shared -trace/-metrics command-line plumbing for
-// the example binaries (cilksort, fmm, utsmem): each registers the two
-// flags, enables tracing in its Config when a trace dump was requested,
-// and calls Write after the run. Keeping this here means every command
-// emits the same file formats (itytrace/v1 and itoyori-metrics/v1) that
-// cmd/itytrace consumes.
+// Package obs is the shared command-line plumbing for the example
+// binaries (cilksort, fmm, utsmem): the -trace/-metrics observability
+// flags and the -coalesce/-prefetch cache communication-batching knobs.
+// Each binary registers the flags, applies them to its Config, and calls
+// Write after the run. Keeping this here means every command emits the
+// same file formats (itytrace/v1 and itoyori-metrics/v1) that
+// cmd/itytrace consumes, and exposes the same batching defaults that
+// cmd/itybench uses.
 package obs
 
 import (
@@ -12,6 +14,7 @@ import (
 	"os"
 
 	"ityr/internal/core"
+	"ityr/internal/pgas"
 )
 
 // Flags registers -trace and -metrics on the default flag set and
@@ -22,6 +25,28 @@ func Flags() (traceFile, metricsFile *string) {
 	metricsFile = flag.String("metrics", "",
 		"write an itoyori-metrics/v1 JSON snapshot to this file ('-' for stdout)")
 	return traceFile, metricsFile
+}
+
+// BatchFlags registers the cache communication-batching knobs -coalesce
+// and -prefetch on the default flag set, with the same defaults as
+// cmd/itybench (both mechanisms on), and returns pointers to their
+// values. Apply the parsed values to Config.Pgas via ApplyBatch.
+func BatchFlags() (coalesce *bool, prefetch *int) {
+	coalesce = flag.Bool("coalesce", true,
+		"coalesce adjacent dirty regions into merged write-back puts")
+	prefetch = flag.Int("prefetch", 2,
+		"sequential-access prefetch depth in blocks (0 disables)")
+	return coalesce, prefetch
+}
+
+// ApplyBatch applies the BatchFlags values to a PgasConfig. Negative
+// prefetch depths are clamped to 0 (off).
+func ApplyBatch(cfg *pgas.Config, coalesce bool, prefetch int) {
+	if prefetch < 0 {
+		prefetch = 0
+	}
+	cfg.CoalesceWriteBack = coalesce
+	cfg.PrefetchBlocks = prefetch
 }
 
 // Write emits the dump files requested by the flags. rt must have been

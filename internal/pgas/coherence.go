@@ -1,6 +1,7 @@
 package pgas
 
 import (
+	"ityr/internal/memblock"
 	"ityr/internal/prof"
 	"ityr/internal/region"
 	"ityr/internal/sim"
@@ -24,24 +25,33 @@ func (l *Local) requestEpoch() uint64 {
 // writeBackAll writes every dirty region of every cache block to its home,
 // then advances the epoch. Called for release fences, lazy-release polls,
 // and cache-pressure flushes; cat selects the profiler category charged.
+// With Config.CoalesceWriteBack the dirty regions are shipped as merged
+// per-home Puts and each written target rank is flushed individually
+// (batch.go); otherwise every region is its own Put and one Flush waits on
+// everything.
 func (l *Local) writeBackAll(cat string) {
 	t0 := l.rank.Proc().Now()
 	wrote := false
-	for _, cb := range l.cache.DirtyBlocks() {
-		// Snapshot the intervals: issuing the puts advances virtual time,
-		// during which a node-mate sharing this cache may register new
-		// dirty regions. Only what we actually flushed is cleared.
-		ivs := append([]region.Interval(nil), cb.Dirty.Intervals()...)
-		for _, iv := range ivs {
-			l.putDirtyInterval(cb, iv)
-			wrote = true
+	if l.space.cfg.CoalesceWriteBack {
+		wrote = l.writeBackCoalesced()
+	} else {
+		for _, cb := range l.cache.DirtyBlocks() {
+			// Snapshot the intervals: issuing the puts advances virtual
+			// time, during which a node-mate sharing this cache may
+			// register new dirty regions. Only what we actually flushed is
+			// cleared.
+			ivs := append([]region.Interval(nil), cb.Dirty.Intervals()...)
+			for _, iv := range ivs {
+				l.putDirtyInterval(cb, iv)
+				wrote = true
+			}
+			for _, iv := range ivs {
+				cb.Dirty.Subtract(iv)
+			}
 		}
-		for _, iv := range ivs {
-			cb.Dirty.Subtract(iv)
+		if wrote {
+			l.rank.Flush()
 		}
-	}
-	if wrote {
-		l.rank.Flush()
 	}
 	cur, req := l.CurrentEpoch(), l.requestEpoch()
 	if wrote || cur < req {
@@ -151,6 +161,22 @@ func (l *Local) invalidateAll() {
 	// a dirty region's valid bit would let a later fetch overwrite it.
 	if len(l.cache.DirtyBlocks()) > 0 {
 		l.writeBackAll(prof.CatRelease)
+	}
+	if l.space.cfg.PrefetchBlocks > 0 {
+		// Invalidation discards speculative bytes nothing ever read:
+		// count them as wasted prefetches before the valid bits go.
+		l.cache.ForEach(func(b *memblock.Block) {
+			if b.Prefetched {
+				b.Prefetched = false
+				l.pfMiss()
+			}
+		})
+		// The access-run detector's history predates the invalidation, so
+		// a run it reports would span the epoch boundary — exactly the
+		// speculation the invalidation just proved worthless. Reset it so
+		// prefetching resumes only once a fresh run forms.
+		l.lastBid = -1
+		l.runLen = 0
 	}
 	l.cache.InvalidateAllExceptDirty()
 	l.rank.Proc().Advance(costInvalidate)

@@ -40,6 +40,25 @@ type Local struct {
 	viewPool  [][]byte
 	piecePool [][]piece
 
+	// Write-back coalescing scratch (Config.CoalesceWriteBack): gathered
+	// dirty runs, the staging buffer merged multi-run Puts ship from, and
+	// the written-target list a release flushes rank by rank. Reused
+	// across write-backs; all host-side bookkeeping.
+	wbRuns    []wbRun
+	wbStage   []byte
+	wbTargets []int
+
+	// Prefetch state (Config.PrefetchBlocks): the last block ID this rank
+	// checked out through the cache path and the length of the current
+	// ascending run, plus scratch for the blocks and bytes of one batched
+	// lookahead Get. pfCredit is the confidence counter gating
+	// speculation (see the constants in batch.go).
+	lastBid  int64
+	runLen   int
+	pfCredit int
+	pfBlks   []pfBlock
+	pfStage  []byte
+
 	// ProfCategory, when non-empty, redirects the time of subsequent
 	// checkout/checkin calls to the named profiler category instead of
 	// "Checkout"/"Checkin". The paper uses this to attribute the
@@ -240,6 +259,9 @@ func (l *Local) Checkout(addr Addr, size uint64, mode Mode) ([]byte, error) {
 			return nil, err
 		}
 		cb.Ref++
+		wasPrefetched := cb.Prefetched
+		cb.Prefetched = false
+		var fetched uint64
 		if mode == Write {
 			cb.Valid.Add(req)
 			s.Stats.HitBytes += req.Len()
@@ -259,7 +281,6 @@ func (l *Local) Checkout(addr Addr, size uint64, mode Mode) ([]byte, error) {
 			if padded.Hi > limit {
 				padded.Hi = limit
 			}
-			var fetched uint64
 			for _, m := range cb.Valid.Missing(padded) {
 				dst := cb.Data[m.Lo-uint64(g0) : m.Hi-uint64(g0)]
 				win.Get(l.rank, homeRank, segOff0+int(m.Lo-uint64(g0)), dst)
@@ -274,11 +295,37 @@ func (l *Local) Checkout(addr Addr, size uint64, mode Mode) ([]byte, error) {
 			}
 		} else {
 			s.Stats.HitBytes += req.Len()
+			if wasPrefetched {
+				l.pfHit()
+			}
 		}
 		rec.pieces = append(rec.pieces, piece{
 			g: Addr(req.Lo), n: int(req.Len()),
 			cb: cb, blockBase: g0,
 		})
+		if s.cfg.PrefetchBlocks > 0 {
+			// Sequential-run detection: a run extends when the block ID
+			// advances by at most one home stride (1, or nranks under a
+			// block-cyclic distribution, where a rank streaming the whole
+			// array still steps block IDs by 1). A demand miss that
+			// extends a run of length >= 2 triggers the lookahead fetch.
+			strideBlocks := int64(1)
+			if a.base < ncBase && a.policy == BlockCyclicDist {
+				strideBlocks = int64(a.nranks)
+			}
+			switch d := int64(bid) - l.lastBid; {
+			case d == 0:
+				// Same block as last time: the run is unchanged.
+			case d >= 1 && d <= strideBlocks:
+				l.runLen++
+			default:
+				l.runLen = 1
+			}
+			l.lastBid = int64(bid)
+			if fetched > 0 && l.runLen >= 2 && l.pfCredit > 0 {
+				l.prefetch(a, g0, homeRank, win, segOff0)
+			}
+		}
 	}
 
 	// Wait for all fetches (MPI_Win_flush_all at Fig. 4 line 30). With
@@ -314,6 +361,13 @@ func (l *Local) acquireCacheBlock(bid int64) (*memblock.Block, error) {
 		return nil, fmt.Errorf("%w: %v", ErrTooMuchCheckout, err)
 	}
 	if evicted != nil {
+		// The evicted identity's prefetch flag survives Acquire's reset
+		// (see memblock.Block.Prefetched): still set means the speculative
+		// bytes were evicted unused.
+		if cb.Prefetched {
+			l.pfMiss()
+			cb.Prefetched = false
+		}
 		l.rank.Proc().Advance(costMmap)
 		l.space.Stats.Mmaps++
 		l.space.Stats.Evictions++
@@ -392,8 +446,15 @@ func (l *Local) Checkin(addr Addr, size uint64, mode Mode) error {
 				iv := region.Interval{Lo: uint64(p.g), Hi: uint64(p.g) + uint64(p.n)}
 				if s.cfg.Policy == WriteThrough {
 					// Write dirty bytes home immediately, forgetting them.
-					l.putDirtyInterval(p.cb, iv)
-					flush = true
+					// With coalescing the pieces are gathered first, so a
+					// checkin spanning consecutive same-home blocks ships
+					// one Put instead of one per block.
+					if s.cfg.CoalesceWriteBack {
+						l.gatherRun(p.cb, iv)
+					} else {
+						l.putDirtyInterval(p.cb, iv)
+						flush = true
+					}
 				} else {
 					p.cb.Dirty.Add(iv)
 				}
@@ -409,6 +470,12 @@ func (l *Local) Checkin(addr Addr, size uint64, mode Mode) error {
 			// Home path: the copy above already updated home memory.
 			p.hb.Ref--
 		}
+	}
+	if len(l.wbRuns) > 0 {
+		for _, t := range l.issueRuns() {
+			l.rank.FlushRank(t)
+		}
+		l.resetRuns()
 	}
 	if flush {
 		l.rank.Flush()

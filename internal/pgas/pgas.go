@@ -127,6 +127,23 @@ type Config struct {
 	// the cache memory; coherence stays correct because fences
 	// conservatively act on the whole node cache.
 	SharedCache bool
+	// CoalesceWriteBack enables communication batching on the write-back
+	// path (the paper's Fig. 6 motivation: few large transfers instead of
+	// many small ones): dirty regions that land contiguously in the same
+	// home segment — adjacent regions within a block, or consecutive
+	// blocks of the same home — are merged into a single rma.Put, and a
+	// release fence flushes once per written target rank instead of once
+	// for everything. Off (false, the default) reproduces the unbatched
+	// seed behaviour bit-identically.
+	CoalesceWriteBack bool
+	// PrefetchBlocks enables sequential-access block prefetch on checkout:
+	// when a cache miss extends a detected run of ascending same-home
+	// block accesses, up to PrefetchBlocks lookahead blocks from that home
+	// are fetched in one batched rma.Get alongside the demand fetch.
+	// Prefetched blocks are unpinned and evict normally, and the prefetch
+	// never forces a write-back: under cache pressure it simply stops.
+	// 0 (the default) disables prefetching.
+	PrefetchBlocks int
 }
 
 func (c Config) withDefaults() Config {

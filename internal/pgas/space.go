@@ -72,6 +72,12 @@ type Space struct {
 
 	// Stats aggregates cache behaviour over the whole space.
 	Stats SpaceStats
+	// Batch aggregates communication-batching behaviour (write-back
+	// coalescing and prefetch). Kept separate from Stats so runs with the
+	// batching knobs off leave it zero — golden digests fold Batch in only
+	// when it is nonzero, which keeps knobs-off digests bit-identical to
+	// runs that predate the batching layer.
+	Batch BatchStats
 	// TraceLog, when non-nil, receives cache events (misses, write-backs,
 	// evictions) with virtual timestamps.
 	TraceLog *trace.Log
@@ -89,6 +95,28 @@ type Space struct {
 	// runtime uses it for communication-computation overlap (§8 future
 	// work): the scheduler runs other tasks while the fetch is in flight.
 	CommWait func(l *Local)
+}
+
+// BatchStats counts communication-batching events across all ranks. All
+// fields stay zero unless Config.CoalesceWriteBack or
+// Config.PrefetchBlocks is set.
+type BatchStats struct {
+	// WBRunsMerged counts dirty runs folded into a preceding run's Put
+	// (k runs merged into one Put add k-1 here).
+	WBRunsMerged uint64
+	// WBCoalescedBytes counts bytes shipped in merged (multi-run) Puts.
+	WBCoalescedBytes uint64
+	// PrefetchOps counts batched prefetch Gets issued.
+	PrefetchOps uint64
+	// PrefetchedBlocks counts cache blocks filled by prefetch.
+	PrefetchedBlocks uint64
+	// PrefetchBytes counts bytes moved by prefetch Gets.
+	PrefetchBytes uint64
+	// PrefetchHits counts checkouts fully satisfied by a prefetched block.
+	PrefetchHits uint64
+	// PrefetchMisses counts prefetched blocks evicted or invalidated
+	// before any demand checkout touched them (wasted prefetches).
+	PrefetchMisses uint64
 }
 
 // SpaceStats counts cache events across all ranks.
@@ -146,10 +174,11 @@ func New(comm *rma.Comm, cfg Config, pr *prof.Profiler) *Space {
 			}
 		}
 		s.locals[i] = &Local{
-			space: s,
-			rank:  comm.Rank(i),
-			cache: cache,
-			home:  memblock.NewTable(cfg.MaxHomeBlocks, cfg.BlockSize, true),
+			space:    s,
+			rank:     comm.Rank(i),
+			cache:    cache,
+			home:     memblock.NewTable(cfg.MaxHomeBlocks, cfg.BlockSize, true),
+			pfCredit: pfInitCredit,
 		}
 		// A pseudo-allocation per rank describing its noncollective region
 		// keeps address resolution uniform.

@@ -1,0 +1,60 @@
+package rma
+
+import (
+	"testing"
+
+	"ityr/internal/netmodel"
+)
+
+// TestFlushRankWaitsOnlyOneTarget pins the targeted-flush semantics the
+// pgas write-back batching relies on: FlushRank(t) drains only the ops
+// bound for t, leaving traffic to other ranks outstanding, and a full
+// Flush afterwards still waits for the rest.
+func TestFlushRankWaitsOnlyOneTarget(t *testing.T) {
+	net := netmodel.Default(1) // every rank its own node
+	harness(t, 3, net, func(r *Rank) {
+		w := winFor(r)
+		if r.ID() == 0 {
+			small := make([]byte, 8)
+			big := make([]byte, 1<<15)
+			w.Put(r, small, 1, 0)
+			w.Put(r, big, 2, 0)
+			r.FlushRank(1)
+			if r.proc.Now() < r.pendingTo[1] {
+				t.Errorf("FlushRank(1) returned at %d before target-1 completion %d", r.proc.Now(), r.pendingTo[1])
+			}
+			if r.PendingTime() <= r.proc.Now() {
+				t.Errorf("FlushRank(1) waited for the big target-2 put too (now=%d pending=%d)", r.proc.Now(), r.PendingTime())
+			}
+			r.Flush()
+			if r.proc.Now() < r.pendingTo[2] {
+				t.Errorf("Flush returned at %d before target-2 completion %d", r.proc.Now(), r.pendingTo[2])
+			}
+			// A FlushRank with nothing outstanding is free.
+			before := r.flushWaits
+			r.FlushRank(2)
+			if r.flushWaits != before {
+				t.Errorf("idle FlushRank counted a wait")
+			}
+		}
+		r.Barrier()
+	})
+}
+
+// TestFlushRankSelfOps checks self-targeted ops complete at issue and
+// never make FlushRank wait.
+func TestFlushRankSelfOps(t *testing.T) {
+	net := netmodel.Default(1)
+	harness(t, 2, net, func(r *Rank) {
+		w := winFor(r)
+		if r.ID() == 0 {
+			w.Put(r, make([]byte, 64), 0, 0)
+			before := r.flushWaits
+			r.FlushRank(0)
+			if r.flushWaits != before {
+				t.Errorf("self-op FlushRank waited")
+			}
+		}
+		r.Barrier()
+	})
+}

@@ -80,6 +80,12 @@ type Comm struct {
 	// touches it, and consecutive releasers are ordered by the barrier
 	// itself, so no synchronization is needed.
 	barriers uint64
+
+	// nwins numbers windows in creation order. Window creation is a
+	// setup-time or globally serialized operation, so a plain counter is
+	// race-free; the resulting IDs give callers a deterministic sort key
+	// (sorting by *Win pointer would depend on the host allocator).
+	nwins int
 }
 
 // New creates a communicator with n ranks on engine e using network model p.
@@ -87,7 +93,7 @@ func New(e *sim.Engine, n int, p netmodel.Params) *Comm {
 	c := &Comm{eng: e, net: p, barSlots: make([]atomic.Int64, n)}
 	c.ranks = make([]*Rank, n)
 	for i := range c.ranks {
-		c.ranks[i] = &Rank{id: i, c: c}
+		c.ranks[i] = &Rank{id: i, c: c, pendingTo: make([]sim.Time, n)}
 	}
 	return c
 }
@@ -190,6 +196,12 @@ type Rank struct {
 
 	nicFree sim.Time // when the NIC finishes serializing already-issued messages
 	pending sim.Time // completion time of the latest outstanding nonblocking op
+
+	// pendingTo tracks the completion time of the latest outstanding
+	// nonblocking op per target rank, so FlushRank can wait on one target
+	// without stalling on unrelated traffic. Allocated once at Comm
+	// creation — the fault-free hot path stays allocation-free.
+	pendingTo []sim.Time
 
 	// slowNum/slowDen is the rank's straggler time scale (0 = nominal),
 	// propagated to whichever process currently drives the rank.
@@ -301,6 +313,9 @@ func (r *Rank) issue(target, nbytes int) {
 		if now > r.pending {
 			r.pending = now
 		}
+		if now > r.pendingTo[target] {
+			r.pendingTo[target] = now
+		}
 		return
 	}
 	if r.nicFree < now {
@@ -316,6 +331,9 @@ func (r *Rank) issue(target, nbytes int) {
 	if done > r.pending {
 		r.pending = done
 	}
+	if done > r.pendingTo[target] {
+		r.pendingTo[target] = done
+	}
 }
 
 // Flush blocks until all nonblocking operations issued by this rank have
@@ -324,6 +342,17 @@ func (r *Rank) issue(target, nbytes int) {
 // path — a flush-heavy rank costs the host nothing per wait.
 func (r *Rank) Flush() {
 	if d := r.pending - r.proc.Now(); d > 0 {
+		r.flushWaits++
+		r.proc.Advance(d)
+	}
+}
+
+// FlushRank blocks until all nonblocking operations this rank issued to
+// target have completed, like MPI_Win_flush: a targeted wait that lets a
+// release fence drain each written home rank without stalling on traffic
+// bound elsewhere. A FlushRank that has nothing to wait for is free.
+func (r *Rank) FlushRank(target int) {
+	if d := r.pendingTo[target] - r.proc.Now(); d > 0 {
 		r.flushWaits++
 		r.proc.Advance(d)
 	}
@@ -379,9 +408,16 @@ func (r *Rank) Barrier() {
 // Win is a one-sided memory window: one segment of bytes per rank.
 type Win struct {
 	c    *Comm
+	id   int // creation-order number, a deterministic sort key
 	segs [][]byte
 	gens []uint64 // bumped when a Grow reallocates a segment's backing array
 }
+
+// ID returns the window's creation-order number within its communicator.
+// Windows are created in a deterministic order (setup or globally
+// serialized allocation), so the ID is stable across runs and usable as a
+// sort key where a pointer comparison would not be.
+func (w *Win) ID() int { return w.id }
 
 // NewWin creates a window where rank i exposes sizes[i] bytes. It is a
 // setup-time (SPMD) operation.
@@ -389,7 +425,8 @@ func (c *Comm) NewWin(sizes []int) *Win {
 	if len(sizes) != len(c.ranks) {
 		panic(fmt.Sprintf("rma: NewWin got %d sizes for %d ranks", len(sizes), len(c.ranks)))
 	}
-	w := &Win{c: c, gens: make([]uint64, len(sizes))}
+	w := &Win{c: c, id: c.nwins, gens: make([]uint64, len(sizes))}
+	c.nwins++
 	w.segs = make([][]byte, len(sizes))
 	for i, s := range sizes {
 		w.segs[i] = make([]byte, s)

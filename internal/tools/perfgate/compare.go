@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"ityr/internal/bench"
+)
+
+// compare returns one human-readable finding per gated discrepancy between
+// the baseline and the current report; an empty slice means the gate
+// passes. Findings are deterministic: experiments are visited in sorted
+// order, metrics in a fixed order.
+//
+// A metric fails when it drifts beyond tol relatively in either direction:
+// above the baseline is a regression, below it is an improvement that
+// must be re-baselined so future regressions are measured from the new
+// floor. Reports are only comparable like-for-like, so mismatched scale
+// or batching knobs, and missing or extra experiments, are findings too.
+func compare(base, cur bench.PerfReport, tol float64) []string {
+	var findings []string
+	if cur.Scale != base.Scale {
+		findings = append(findings, fmt.Sprintf(
+			"scale mismatch: baseline %q, current %q", base.Scale, cur.Scale))
+	}
+	if cur.Coalesce != base.Coalesce || cur.Prefetch != base.Prefetch {
+		findings = append(findings, fmt.Sprintf(
+			"batching knobs mismatch: baseline coalesce=%v prefetch=%d, current coalesce=%v prefetch=%d",
+			base.Coalesce, base.Prefetch, cur.Coalesce, cur.Prefetch))
+	}
+	if len(findings) > 0 {
+		// Differently configured runs aren't comparable; metric deltas
+		// against them would only be noise on top of the real finding.
+		return findings
+	}
+
+	names := make([]string, 0, len(base.Experiments))
+	for name := range base.Experiments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Experiments[name]
+		c, ok := cur.Experiments[name]
+		if !ok {
+			findings = append(findings, fmt.Sprintf(
+				"experiment %q in baseline but missing from current report", name))
+			continue
+		}
+		findings = append(findings, compareMetric(name, "sim_ns", float64(b.SimNs), float64(c.SimNs), tol)...)
+		findings = append(findings, compareMetric(name, "round_trips", float64(b.RoundTrips), float64(c.RoundTrips), tol)...)
+		findings = append(findings, compareMetric(name, "rma_bytes", float64(b.RMABytes), float64(c.RMABytes), tol)...)
+	}
+
+	extras := make([]string, 0)
+	for name := range cur.Experiments {
+		if _, ok := base.Experiments[name]; !ok {
+			extras = append(extras, name)
+		}
+	}
+	sort.Strings(extras)
+	for _, name := range extras {
+		findings = append(findings, fmt.Sprintf(
+			"experiment %q not in baseline: re-baseline to start gating it", name))
+	}
+	return findings
+}
+
+// compareMetric gates one number. The tolerance band is relative to the
+// baseline; a zero baseline only accepts an exact zero (relative drift
+// from zero is undefined, and the deterministic simulator reproduces true
+// zeros exactly).
+func compareMetric(exp, metric string, base, cur, tol float64) []string {
+	if base == 0 {
+		if cur != 0 {
+			return []string{fmt.Sprintf(
+				"%s %s regressed: baseline 0, current %.0f", exp, metric, cur)}
+		}
+		return nil
+	}
+	switch {
+	case cur > base*(1+tol):
+		return []string{fmt.Sprintf(
+			"%s %s regressed: baseline %.0f, current %.0f (+%.1f%%, tolerance ±%.1f%%)",
+			exp, metric, base, cur, 100*(cur-base)/base, 100*tol)}
+	case cur < base*(1-tol):
+		return []string{fmt.Sprintf(
+			"%s %s improved past tolerance: baseline %.0f, current %.0f (%.1f%%, tolerance ±%.1f%%) — re-baseline to lock in the win",
+			exp, metric, base, cur, 100*(cur-base)/base, 100*tol)}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ityr/internal/bench"
+)
+
+func sampleReport() bench.PerfReport {
+	return bench.PerfReport{
+		Schema:   bench.PerfSchema,
+		Scale:    "smoke",
+		Coalesce: true,
+		Prefetch: 2,
+		Experiments: map[string]bench.PerfMetrics{
+			"cilksort": {SimNs: 484333, RoundTrips: 387, RMABytes: 495988},
+			"halo":     {SimNs: 188101, RoundTrips: 336, RMABytes: 2688},
+		},
+	}
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	if f := compare(sampleReport(), sampleReport(), 0.02); len(f) != 0 {
+		t.Fatalf("identical reports produced findings: %v", f)
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	cur := sampleReport()
+	m := cur.Experiments["cilksort"]
+	m.SimNs = m.SimNs + m.SimNs/100 // +1% < 2% tolerance
+	cur.Experiments["cilksort"] = m
+	if f := compare(sampleReport(), cur, 0.02); len(f) != 0 {
+		t.Fatalf("1%% drift under 2%% tolerance produced findings: %v", f)
+	}
+}
+
+// TestComparePerturbedMetricFails is the gate's reason to exist: take the
+// baseline, hand-perturb one metric past the tolerance, and the gate must
+// fail naming the experiment and metric.
+func TestComparePerturbedMetricFails(t *testing.T) {
+	cases := []struct {
+		name    string
+		perturb func(*bench.PerfMetrics)
+		want    string
+	}{
+		{"sim time regression", func(m *bench.PerfMetrics) { m.SimNs = m.SimNs * 11 / 10 }, "sim_ns regressed"},
+		{"round trips regression", func(m *bench.PerfMetrics) { m.RoundTrips += 100 }, "round_trips regressed"},
+		{"rma bytes regression", func(m *bench.PerfMetrics) { m.RMABytes *= 2 }, "rma_bytes regressed"},
+		{"unre-baselined improvement", func(m *bench.PerfMetrics) { m.RoundTrips /= 2 }, "round_trips improved past tolerance"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := sampleReport()
+			m := cur.Experiments["cilksort"]
+			tc.perturb(&m)
+			cur.Experiments["cilksort"] = m
+			f := compare(sampleReport(), cur, 0.02)
+			if len(f) != 1 {
+				t.Fatalf("want exactly 1 finding, got %d: %v", len(f), f)
+			}
+			if !strings.Contains(f[0], "cilksort") || !strings.Contains(f[0], tc.want) {
+				t.Fatalf("finding %q does not name cilksort + %q", f[0], tc.want)
+			}
+		})
+	}
+}
+
+func TestCompareExperimentSetMismatch(t *testing.T) {
+	cur := sampleReport()
+	delete(cur.Experiments, "halo")
+	cur.Experiments["uts"] = bench.PerfMetrics{SimNs: 1, RoundTrips: 1, RMABytes: 1}
+	f := compare(sampleReport(), cur, 0.02)
+	if len(f) != 2 {
+		t.Fatalf("want 2 findings (missing halo, extra uts), got %d: %v", len(f), f)
+	}
+	if !strings.Contains(f[0], `"halo"`) || !strings.Contains(f[0], "missing") {
+		t.Errorf("first finding should report missing halo, got %q", f[0])
+	}
+	if !strings.Contains(f[1], `"uts"`) || !strings.Contains(f[1], "re-baseline") {
+		t.Errorf("second finding should report unbaselined uts, got %q", f[1])
+	}
+}
+
+func TestCompareKnobOrScaleMismatch(t *testing.T) {
+	cur := sampleReport()
+	cur.Prefetch = 0
+	f := compare(sampleReport(), cur, 0.02)
+	if len(f) != 1 || !strings.Contains(f[0], "batching knobs mismatch") {
+		t.Fatalf("want a single knob-mismatch finding, got %v", f)
+	}
+
+	cur = sampleReport()
+	cur.Scale = "quick"
+	f = compare(sampleReport(), cur, 0.02)
+	if len(f) != 1 || !strings.Contains(f[0], "scale mismatch") {
+		t.Fatalf("want a single scale-mismatch finding, got %v", f)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := sampleReport()
+	m := base.Experiments["halo"]
+	m.RMABytes = 0
+	base.Experiments["halo"] = m
+
+	if f := compare(base, base, 0.02); len(f) != 0 {
+		t.Fatalf("zero-vs-zero produced findings: %v", f)
+	}
+	cur := sampleReport() // halo rma_bytes back to 2688
+	f := compare(base, cur, 0.02)
+	if len(f) != 1 || !strings.Contains(f[0], "baseline 0") {
+		t.Fatalf("nonzero against zero baseline should fail, got %v", f)
+	}
+}

@@ -1,0 +1,69 @@
+// Command perfgate is the deterministic perf-regression gate: it compares
+// a freshly generated perf report (`itybench -perf BENCH_perf.json -scale
+// smoke`) against the checked-in baseline (BENCH_baseline.json) and exits
+// nonzero on any drift beyond a small tolerance.
+//
+// Because the simulator is bit-deterministic, every gated number —
+// simulated time, RMA round trips, RMA bytes — is exactly reproducible on
+// any host, so drift is always a code change, never noise. The gate is
+// two-sided on purpose: a regression fails outright, and an improvement
+// beyond the tolerance also fails until the baseline is regenerated (`make
+// perf-baseline`), so the checked-in numbers always describe the current
+// code and the next regression is measured from the right floor. The
+// tolerance exists only to absorb intentional micro-churn (a few events
+// moved by an unrelated change) without a re-baseline ceremony.
+//
+// Usage:
+//
+//	perfgate -baseline BENCH_baseline.json -current BENCH_perf.json [-tol 0.02]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ityr/internal/bench"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline report")
+	current := flag.String("current", "BENCH_perf.json", "freshly generated report to gate")
+	tol := flag.Float64("tol", 0.02, "relative tolerance per metric (0.02 = ±2%)")
+	flag.Parse()
+
+	base, err := readReport(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(1)
+	}
+	cur, err := readReport(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(1)
+	}
+
+	findings := compare(base, cur, *tol)
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, "perfgate:", f)
+		}
+		fmt.Fprintf(os.Stderr, "perfgate: FAIL (%d finding(s); if the change is intentional, regenerate the baseline with `make perf-baseline` and commit it)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Printf("perfgate: OK — %d experiment(s) within ±%.1f%% of baseline (%s scale)\n",
+		len(base.Experiments), 100**tol, base.Scale)
+}
+
+func readReport(path string) (bench.PerfReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return bench.PerfReport{}, err
+	}
+	defer f.Close()
+	rep, err := bench.ReadPerfReport(f)
+	if err != nil {
+		return bench.PerfReport{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}

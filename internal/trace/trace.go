@@ -52,13 +52,16 @@ const (
 	// meaning across versions.
 	KRetry
 	KBlacklist
+	// KPrefetch was added with the cache communication-batching layer
+	// (sequential-access block prefetch), appended per the same rule.
+	KPrefetch
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"fork", "steal", "failed-steal", "migrate", "release", "lazy-release",
 	"acquire", "cache-miss", "write-back", "eviction", "region-enter", "region-exit",
-	"checkout", "task", "task-end", "join", "retry", "blacklist",
+	"checkout", "task", "task-end", "join", "retry", "blacklist", "prefetch",
 }
 
 func (k Kind) String() string {
@@ -84,6 +87,7 @@ func (k Kind) String() string {
 //	             which the recording rank skips the victim for steals)
 //	KCacheMiss   Arg = bytes fetched
 //	KWriteBack   Arg = bytes written back
+//	KPrefetch    Arg = bytes prefetched in one batched lookahead Get
 //	KEviction    Arg = bytes evicted
 //	KAcquire / KRelease / KMigrate: span over the fence / migration fence
 type Event struct {
