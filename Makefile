@@ -55,7 +55,7 @@ bench:
 	$(GO) test -bench BenchmarkRMAOps -run xxx ./internal/rma
 
 hostperf:
-	$(GO) run ./cmd/itybench -hostperf BENCH_sim.json -count 3 -procs 8
+	$(GO) run ./cmd/itybench -hostperf BENCH_sim.json -count 3 -procs 8 -scaling -fleet 64
 
 # Deterministic perf suite: simulated time, RMA round trips and bytes per
 # experiment at smoke scale. Bit-identical on every host, so perfgate can

@@ -26,6 +26,14 @@
 //	itybench -coalesce=false -prefetch 0
 //	                         # run any experiment with the cache
 //	                         # communication batching disabled
+//	itybench -scaling        # 64 → 16,384 simulated-rank scaling sweep
+//	                         # (halo + cilksort); -scalingmax 1728 caps the
+//	                         # curve for smoke runs
+//	itybench -fleet 64       # run 64 independent deterministic simulations
+//	                         # concurrently across host cores, verify their
+//	                         # digests agree, report sims/sec
+//	itybench -hostperf BENCH_sim.json -scaling -fleet 64
+//	                         # fold both new sections into the JSON report
 package main
 
 import (
@@ -50,6 +58,10 @@ func main() {
 	perfFile := flag.String("perf", "", "run the deterministic perf suite (simulated time, round trips, RMA bytes per experiment) and write the JSON report to this file ('-' for stdout); gate it with internal/tools/perfgate")
 	coalesce := flag.Bool("coalesce", true, "coalesce adjacent dirty regions into merged write-back puts (cache communication batching)")
 	prefetch := flag.Int("prefetch", 2, "sequential-access prefetch depth in blocks, 0 to disable (cache communication batching)")
+	scaling := flag.Bool("scaling", false, "run the 64→16K rank-count scaling sweep (halo + cilksort); with -hostperf, adds the 'scaling' section to the JSON report")
+	scalingMax := flag.Int("scalingmax", 0, "with -scaling: cap the sweep's rank counts (0 = full curve to 16384); CI smoke uses 1728")
+	fleet := flag.Int("fleet", 0, "run N independent deterministic simulations concurrently across host cores and report sims/sec; with -hostperf, adds the 'fleet' section to the JSON report")
+	fleetWorkers := flag.Int("fleetworkers", 0, "with -fleet: concurrent host workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	// Shard the simulation engine across host workers. Every experiment's
@@ -57,6 +69,20 @@ func main() {
 	// changes how fast the host gets there.
 	bench.SetHostProcs(*procs)
 	bench.SetCacheBatching(*coalesce, *prefetch)
+
+	// scalingCurve trims the sweep to rank counts <= -scalingmax.
+	scalingCurve := func() []int {
+		if *scalingMax <= 0 {
+			return nil // full curve
+		}
+		var c []int
+		for _, r := range bench.ScalingRanks {
+			if r <= *scalingMax {
+				c = append(c, r)
+			}
+		}
+		return c
+	}
 
 	if *hostperf != "" {
 		// Human summary goes to stderr when the JSON itself claims stdout,
@@ -75,9 +101,37 @@ func main() {
 			out = f
 		}
 		rep := bench.HostPerf(summary, *count, *procs)
+		if *scaling {
+			fmt.Fprintln(summary, "rank-count scaling sweep:")
+			rep.Scaling = bench.ScalingSweep(summary, scalingCurve())
+		}
+		if *fleet > 0 {
+			fl := bench.FleetRun(summary, *fleet, *fleetWorkers)
+			rep.Fleet = &fl
+			if !fl.DigestOK {
+				fmt.Fprintln(os.Stderr, "fleet members diverged: concurrent simulations are not independent")
+				os.Exit(1)
+			}
+		}
 		if err := rep.WriteJSON(out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		return
+	}
+
+	// Standalone -scaling / -fleet: human-readable output, no JSON.
+	if *scaling || *fleet > 0 {
+		if *scaling {
+			fmt.Println("rank-count scaling sweep:")
+			bench.ScalingSweep(os.Stdout, scalingCurve())
+		}
+		if *fleet > 0 {
+			fl := bench.FleetRun(os.Stdout, *fleet, *fleetWorkers)
+			if !fl.DigestOK {
+				fmt.Fprintln(os.Stderr, "fleet members diverged: concurrent simulations are not independent")
+				os.Exit(1)
+			}
 		}
 		return
 	}

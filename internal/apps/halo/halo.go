@@ -65,6 +65,11 @@ type Result struct {
 	FinalState []float64
 	// HostShards records how many shards the engine actually used.
 	HostShards int
+	// Events counts simulation-kernel events popped over the run: the
+	// numerator of host events/sec throughput. Host-side observability
+	// only — deliberately excluded from Digest, which folds simulated
+	// observables alone.
+	Events uint64
 }
 
 // Digest folds every simulated observable into one printable string; two
@@ -166,6 +171,7 @@ func Run(cfg Config) (Result, error) {
 		Elapsed:    elapsed,
 		Stats:      rt.Comm().Stats(),
 		HostShards: rt.Engine().Shards(),
+		Events:     rt.Engine().Stats().Events,
 		FinalState: make([]float64, 0, n*cells),
 	}
 	for r := 0; r < n; r++ {

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"ityr"
+)
+
+// Per-rank budgets on the rank-setup path (ityr.NewRuntime at 16,384
+// ranks): the guardrail for ROADMAP item 1's "memory footprint must stay
+// affordable at 16K ranks". Measured after the diet: ~6.98 KB retained and
+// ~7 heap objects per rank, flat from 1K to 16K ranks (the pre-diet
+// per-rank maps and O(n²) communicator state blow straight through this).
+// Budgets are pinned ~50% above the measurement so legitimate feature work
+// has headroom while a reintroduced per-rank map or ragged slice fails.
+const (
+	budgetRanks           = 16384
+	budgetBytesPerRank    = 10 * 1024
+	budgetMallocsPerRank  = 16
+	budgetSetupTotalBytes = budgetRanks * budgetBytesPerRank
+)
+
+// setupRuntime constructs (but does not run) a runtime at the canonical
+// benchmark geometry — the allocation-heavy path every scaling-sweep and
+// fleet member pays per simulation.
+func setupRuntime(ranks int) *ityr.Runtime {
+	return ityr.NewRuntime(runtimeConfig(ranks, 8, ityr.WriteBackLazy, 11))
+}
+
+func TestRankSetupMemoryBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16K-rank setup allocates ~115MB; skipped under -short")
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	rt := setupRuntime(budgetRanks)
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	retained := int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+	mallocs := int64(m1.Mallocs) - int64(m0.Mallocs)
+	runtime.KeepAlive(rt)
+
+	perRank := float64(retained) / budgetRanks
+	t.Logf("ranks=%d retained=%.1fMB (%.0f B/rank, budget %d), mallocs/rank=%.1f (budget %d)",
+		budgetRanks, float64(retained)/1e6, perRank, budgetBytesPerRank,
+		float64(mallocs)/budgetRanks, budgetMallocsPerRank)
+	if retained > budgetSetupTotalBytes {
+		t.Errorf("rank setup retains %.0f B/rank, over the %d B/rank budget — per-rank state grew",
+			perRank, budgetBytesPerRank)
+	}
+	if mallocs > budgetMallocsPerRank*budgetRanks {
+		t.Errorf("rank setup makes %.1f allocations/rank, over the %d/rank budget — a per-rank allocation crept back in",
+			float64(mallocs)/budgetRanks, budgetMallocsPerRank)
+	}
+}
+
+// BenchmarkRankSetup16K reports the setup path's cost per rank so the
+// numbers behind the budget above are reproducible with `go test -bench`.
+func BenchmarkRankSetup16K(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt := setupRuntime(budgetRanks)
+		runtime.KeepAlive(rt)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/budgetRanks, "ns/rank")
+}

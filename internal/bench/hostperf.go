@@ -79,6 +79,11 @@ type HostPerfReport struct {
 	HostCPUs    int                 `json:"host_cpus"`
 	Benchmarks  []HostPerfResult    `json:"benchmarks"`
 	HostSpeedup []HostSpeedupResult `json:"host_speedup,omitempty"`
+	// Scaling is the 64→16K rank-count sweep (itybench -scaling).
+	Scaling []ScalingPoint `json:"scaling,omitempty"`
+	// Fleet is the concurrent-independent-simulations throughput
+	// measurement (itybench -fleet N).
+	Fleet *FleetResult `json:"fleet,omitempty"`
 }
 
 func hostPerfCases() []struct {
@@ -304,7 +309,7 @@ func HostPerf(w io.Writer, count, maxProcs int) HostPerfReport {
 		maxProcs = 1
 	}
 	rep := HostPerfReport{
-		Schema:   "itoyori-hostperf/v2",
+		Schema:   "itoyori-hostperf/v3",
 		Count:    count,
 		HostCPUs: runtime.NumCPU(),
 	}

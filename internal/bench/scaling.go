@@ -1,0 +1,200 @@
+// Rank-count scaling sweep and fleet throughput: the paper-scale serving
+// story. The paper evaluates Itoyori at 1,728 ranks (36 A64FX nodes); the
+// sweep here runs the same two workload archetypes — halo (pure SPMD,
+// shardable end to end) and cilksort (fork-join, globally serialized
+// steals) — from 64 simulated ranks up to 16,384, recording how host cost
+// and memory grow with rank count. Fleet mode answers the complementary
+// question: how many *independent* deterministic simulations per second
+// the host can serve when they run concurrently on separate goroutines,
+// digest-verified against a serial reference. Like hostperf.go, everything
+// in this file measures the host; simulated results are pinned elsewhere.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"ityr"
+	"ityr/internal/apps/halo"
+)
+
+// ScalingRanks is the rank-count curve the sweep measures: the paper's
+// smallest evaluation points, its headline 1,728-rank machine, and the
+// 16K target of ROADMAP item 1.
+var ScalingRanks = []int{64, 512, 1728, 4096, 16384}
+
+// ScalingPoint is one (workload, rank count) sample of the sweep.
+type ScalingPoint struct {
+	Workload string  `json:"workload"`
+	Ranks    int     `json:"ranks"`
+	HostMs   float64 `json:"host_ms"`
+	SimMs    float64 `json:"sim_ms"`
+	// Events is the number of simulation-kernel events the run dispatched;
+	// EventsPerSec is the host's dispatch throughput on this workload.
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"host_events_per_sec"`
+	// AllocBytesPerRank is the run's total host heap allocation divided by
+	// the rank count — the affordability metric that must stay flat as
+	// ranks grow (the pre-diet per-rank state made it grow linearly with
+	// n, i.e. O(n²) total).
+	AllocBytesPerRank float64 `json:"alloc_bytes_per_rank"`
+}
+
+// scalingWorkloads are the sweep's workload archetypes. Each runs the
+// workload at the given rank count (with the package-level hostProcs
+// shard knob) and returns simulated ns and kernel events.
+var scalingWorkloads = []struct {
+	name string
+	// maxRanks bounds the curve per workload (0 = no bound).
+	maxRanks int
+	run      func(ranks int) (simNs int64, events uint64)
+}{
+	{"halo-spmd", 0, func(ranks int) (int64, uint64) {
+		res, err := halo.Run(halo.Config{
+			Ranks:        ranks,
+			CoresPerNode: 8,
+			CellsPerRank: 256,
+			Steps:        10,
+			HostProcs:    hostProcs,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return res.Elapsed, res.Events
+	}},
+	{"cilksort-forkjoin", 0, func(ranks int) (int64, uint64) {
+		elapsed, rt := CilksortRun(1<<18, 16<<10, ranks, 8, ityr.WriteBackLazy, 11)
+		return elapsed, rt.Engine().Stats().Events
+	}},
+}
+
+// ScalingSweep measures every workload at every rank count of curve
+// (ScalingRanks when nil), writing a human-readable table to w and
+// returning the points for the report's scaling section.
+func ScalingSweep(w io.Writer, curve []int) []ScalingPoint {
+	if curve == nil {
+		curve = ScalingRanks
+	}
+	var out []ScalingPoint
+	fmt.Fprintf(w, "%-20s %7s %10s %10s %12s %14s %12s\n",
+		"workload", "ranks", "host ms", "sim ms", "events", "events/sec", "alloc/rank")
+	for _, wl := range scalingWorkloads {
+		for _, ranks := range curve {
+			if wl.maxRanks > 0 && ranks > wl.maxRanks {
+				continue
+			}
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			t0 := time.Now()
+			simNs, events := wl.run(ranks)
+			hostNs := time.Since(t0).Nanoseconds()
+			runtime.ReadMemStats(&m1)
+			pt := ScalingPoint{
+				Workload:          wl.name,
+				Ranks:             ranks,
+				HostMs:            float64(hostNs) / 1e6,
+				SimMs:             float64(simNs) / 1e6,
+				Events:            events,
+				EventsPerSec:      float64(events) / (float64(hostNs) / 1e9),
+				AllocBytesPerRank: float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ranks),
+			}
+			fmt.Fprintf(w, "%-20s %7d %10.1f %10.3f %12d %14.0f %9.1fKB\n",
+				pt.Workload, pt.Ranks, pt.HostMs, pt.SimMs, pt.Events,
+				pt.EventsPerSec, pt.AllocBytesPerRank/1024)
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// FleetResult aggregates a fleet run: N independent copies of the same
+// deterministic simulation executed concurrently across host goroutines.
+type FleetResult struct {
+	Sims    int `json:"sims"`
+	Workers int `json:"host_workers"`
+	// Ranks/Cells/Steps identify the per-member workload (one halo run).
+	Ranks  int     `json:"ranks_per_sim"`
+	HostMs float64 `json:"host_ms"`
+	// SimsPerSec is the serving throughput: completed simulations per
+	// host wall-clock second across the whole fleet.
+	SimsPerSec float64 `json:"sims_per_sec"`
+	// Events/EventsPerSec aggregate kernel dispatch over the fleet.
+	Events       uint64  `json:"total_events"`
+	EventsPerSec float64 `json:"host_events_per_sec"`
+	// DigestOK reports that every member produced the identical digest —
+	// engines running concurrently in one host process must not perturb
+	// one another (a false here means shared mutable state leaked between
+	// supposedly independent simulations).
+	DigestOK bool `json:"digests_deterministic"`
+}
+
+// fleetConfig is the per-member workload: small enough that a fleet of
+// hundreds finishes promptly, and identical across members so every
+// digest must match bit for bit.
+var fleetConfig = halo.Config{Ranks: 64, CoresPerNode: 8, CellsPerRank: 256, Steps: 20}
+
+// FleetRun executes sims independent copies of fleetConfig across workers
+// host goroutines (0 = GOMAXPROCS), each member on its own serial engine,
+// verifies all digests agree, and returns aggregate throughput.
+func FleetRun(w io.Writer, sims, workers int) FleetResult {
+	if sims < 1 {
+		sims = 1
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > sims {
+		workers = sims
+	}
+	digests := make([]string, sims)
+	events := make([]uint64, sims)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	t0 := time.Now()
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				res, err := halo.Run(fleetConfig)
+				if err != nil {
+					panic(err)
+				}
+				digests[idx] = res.Digest()
+				events[idx] = res.Events
+			}
+		}()
+	}
+	for idx := 0; idx < sims; idx++ {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+	hostNs := time.Since(t0).Nanoseconds()
+	res := FleetResult{
+		Sims:       sims,
+		Workers:    workers,
+		Ranks:      fleetConfig.Ranks,
+		HostMs:     float64(hostNs) / 1e6,
+		SimsPerSec: float64(sims) / (float64(hostNs) / 1e9),
+		DigestOK:   true,
+	}
+	for i := 0; i < sims; i++ {
+		res.Events += events[i]
+		if digests[i] != digests[0] {
+			res.DigestOK = false
+		}
+	}
+	res.EventsPerSec = float64(res.Events) / (float64(hostNs) / 1e9)
+	status := "digests ok"
+	if !res.DigestOK {
+		status = "DIGEST MISMATCH"
+	}
+	fmt.Fprintf(w, "fleet: %d sims x %d ranks on %d workers: %.1f ms, %.1f sims/sec, %.0f events/sec (%s)\n",
+		res.Sims, res.Ranks, res.Workers, res.HostMs, res.SimsPerSec, res.EventsPerSec, status)
+	return res
+}

@@ -27,19 +27,43 @@ type Perturber interface {
 }
 
 // Params describes the simulated machine: topology and communication costs.
+//
+// The model has up to three locality tiers, selected per rank pair by
+// topology: intra-node (shared memory), intra-rack (one leaf switch), and
+// fabric (the full interconnect). The rack tier is optional — with
+// NodesPerRack <= 0 the model is the classic two-tier node/fabric one and
+// every cost is bit-identical to the pre-rack schedules (golden-pinned).
+// This mirrors the locality-tiered transports of DART-MPI and the MPI-3
+// shared-memory PGAS designs, which separate intra-node, intra-rack and
+// global costs.
 type Params struct {
 	// CoresPerNode gives the number of ranks (one process per core, as in
 	// Itoyori) placed on each node. Rank r lives on node r/CoresPerNode.
 	CoresPerNode int
 
-	// Latency is the one-way inter-node RDMA latency.
+	// NodesPerRack groups nodes into racks: node m lives in rack
+	// m/NodesPerRack. 0 (the default) disables the rack tier entirely:
+	// all inter-node traffic pays the fabric cost below.
+	NodesPerRack int
+
+	// Latency is the one-way RDMA latency across the fabric (between
+	// racks, or between nodes when no rack tier is configured).
 	Latency sim.Time
-	// Bandwidth is the per-rank inter-node bandwidth in bytes per
+	// Bandwidth is the per-rank fabric bandwidth in bytes per
 	// nanosecond (1 byte/ns = 1 GB/s).
 	Bandwidth float64
 	// AtomicRTT is the round-trip cost of a remote atomic operation
-	// (compare-and-swap, fetch-and-op).
+	// (compare-and-swap, fetch-and-op) across the fabric.
 	AtomicRTT sim.Time
+
+	// RackLatency / RackBandwidth / RackAtomicRTT apply between ranks on
+	// distinct nodes of the same rack (one leaf-switch hop). Only
+	// consulted when NodesPerRack > 0; zero values fall back to the
+	// fabric numbers, so a partially specified rack tier never makes a
+	// link free.
+	RackLatency   sim.Time
+	RackBandwidth float64
+	RackAtomicRTT sim.Time
 
 	// IntraLatency and IntraBandwidth apply between ranks on the same node
 	// (shared-memory transport).
@@ -83,15 +107,63 @@ func (p Params) Node(r int) int {
 // SameNode reports whether ranks a and b share a node.
 func (p Params) SameNode(a, b int) bool { return p.Node(a) == p.Node(b) }
 
+// Rack returns the rack index hosting rank r. Without a rack tier
+// (NodesPerRack <= 0) every node is its own rack.
+func (p Params) Rack(r int) int {
+	if p.NodesPerRack <= 0 {
+		return p.Node(r)
+	}
+	return p.Node(r) / p.NodesPerRack
+}
+
+// SameRack reports whether ranks a and b share a rack. Meaningful only
+// when a rack tier is configured; otherwise it degenerates to SameNode.
+func (p Params) SameRack(a, b int) bool { return p.Rack(a) == p.Rack(b) }
+
+// rackTier reports whether a-to-b traffic travels the intra-rack tier:
+// distinct nodes of one rack, with a rack tier configured.
+func (p Params) rackTier(a, b int) bool {
+	return p.NodesPerRack > 0 && !p.SameNode(a, b) && p.SameRack(a, b)
+}
+
+// rackLatency / rackBandwidth / rackAtomicRTT fall back to the fabric
+// numbers when the rack field is unset, so a rack tier never undercuts the
+// fabric by omission.
+func (p Params) rackLatency() sim.Time {
+	if p.RackLatency > 0 {
+		return p.RackLatency
+	}
+	return p.Latency
+}
+
+func (p Params) rackBandwidth() float64 {
+	if p.RackBandwidth > 0 {
+		return p.RackBandwidth
+	}
+	return p.Bandwidth
+}
+
+func (p Params) rackAtomicRTT() sim.Time {
+	if p.RackAtomicRTT > 0 {
+		return p.RackAtomicRTT
+	}
+	return p.AtomicRTT
+}
+
 // TransferTime returns the wire time for moving n bytes between ranks a and
 // b, excluding the origin-side MsgOverhead. Transfers between distinct
-// processes on the same node pay the shared-memory cost; a==b is free.
+// processes on the same node pay the shared-memory cost, nodes sharing a
+// rack pay the rack cost (when a rack tier is configured), everything else
+// pays the fabric cost; a==b is free.
 func (p Params) TransferTime(a, b, n int) sim.Time {
 	if a == b {
 		return 0
 	}
 	if p.SameNode(a, b) {
 		return p.IntraLatency + sim.Time(float64(n)/p.IntraBandwidth)
+	}
+	if p.rackTier(a, b) {
+		return p.rackLatency() + sim.Time(float64(n)/p.rackBandwidth())
 	}
 	return p.Latency + sim.Time(float64(n)/p.Bandwidth)
 }
@@ -105,6 +177,9 @@ func (p Params) SerializationTime(a, b, n int) sim.Time {
 	if p.SameNode(a, b) {
 		return sim.Time(float64(n) / p.IntraBandwidth)
 	}
+	if p.rackTier(a, b) {
+		return sim.Time(float64(n) / p.rackBandwidth())
+	}
 	return sim.Time(float64(n) / p.Bandwidth)
 }
 
@@ -116,22 +191,38 @@ func (p Params) AtomicTime(a, b int) sim.Time {
 	if p.SameNode(a, b) {
 		return p.IntraAtomicRTT
 	}
+	if p.rackTier(a, b) {
+		return p.rackAtomicRTT()
+	}
 	return p.AtomicRTT
 }
 
 // MinLatency returns the smallest one-way latency any cross-rank
-// interaction can be charged: the minimum of the intra-node and inter-node
-// link latencies. This is the lookahead bound for conservative parallel
-// host execution (sim.NewEngineShards): no rank can affect another rank's
-// simulated state sooner than MinLatency after initiating an operation, so
-// events less than MinLatency apart on different shards are causally
-// independent. Perturbations (fault plans) only ever add time, so they
-// never shrink the bound.
+// interaction can be charged: the minimum positive latency over the
+// configured tiers (intra-node, intra-rack, fabric). This is the lookahead
+// bound for conservative parallel host execution (sim.NewEngineShards): no
+// rank can affect another rank's simulated state sooner than MinLatency
+// after initiating an operation, so events less than MinLatency apart on
+// different shards are causally independent. Perturbations (fault plans)
+// only ever add time, so they never shrink the bound.
+//
+// Zero-valued tiers are skipped symmetrically — a Params with only one
+// latency set still yields that latency instead of zero, and the fully
+// degenerate all-zero Params yields zero (callers needing a sharded engine
+// must then configure a latency, as NewEngineShards rejects a zero
+// lookahead).
 func (p Params) MinLatency() sim.Time {
-	min := p.Latency
-	if p.IntraLatency > 0 && p.IntraLatency < min {
-		min = p.IntraLatency
+	min := sim.Time(0)
+	consider := func(t sim.Time) {
+		if t > 0 && (min == 0 || t < min) {
+			min = t
+		}
 	}
+	consider(p.Latency)
+	if p.NodesPerRack > 0 {
+		consider(p.rackLatency())
+	}
+	consider(p.IntraLatency)
 	return min
 }
 

@@ -143,3 +143,140 @@ func TestMinLatency(t *testing.T) {
 		t.Errorf("MinLatency = %d, want inter-node latency %d", got, p.Latency)
 	}
 }
+
+// TestMinLatencyDegenerate: every zero tier is skipped symmetrically, so a
+// Params with any single latency configured yields that latency, and the
+// all-zero Params yields zero rather than silently picking one tier's zero
+// as a "minimum" (the historical bug guarded IntraLatency but not Latency).
+func TestMinLatencyDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		want sim.Time
+	}{
+		{"all zero", Params{}, 0},
+		{"fabric only", Params{Latency: 900}, 900},
+		{"intra only, zero fabric", Params{IntraLatency: 250}, 250},
+		{"rack tier set but inactive (NodesPerRack 0)",
+			Params{Latency: 900, RackLatency: 500}, 900},
+		{"rack below fabric", Params{CoresPerNode: 4, NodesPerRack: 2,
+			Latency: 900, RackLatency: 500}, 500},
+		{"rack unset falls back to fabric", Params{CoresPerNode: 4,
+			NodesPerRack: 2, Latency: 900}, 900},
+		{"intra floor under three tiers", Params{CoresPerNode: 4,
+			NodesPerRack: 2, Latency: 900, RackLatency: 500,
+			IntraLatency: 250}, 250},
+		{"single-node machine, intra only", Params{CoresPerNode: 64,
+			IntraLatency: 250}, 250},
+		{"single rank, fabric configured", Params{CoresPerNode: 1,
+			Latency: 1200}, 1200},
+	}
+	for _, tc := range cases {
+		if got := tc.p.MinLatency(); got != tc.want {
+			t.Errorf("%s: MinLatency = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRackTopology: rack indexing and the tier predicate.
+func TestRackTopology(t *testing.T) {
+	p := Default(4)
+	p.NodesPerRack = 2 // ranks 0-7 rack 0, 8-15 rack 1, ...
+	if p.Rack(0) != 0 || p.Rack(7) != 0 || p.Rack(8) != 1 || p.Rack(17) != 2 {
+		t.Fatal("rack mapping wrong for 4 cores/node, 2 nodes/rack")
+	}
+	if !p.SameRack(3, 7) || p.SameRack(7, 8) {
+		t.Fatal("SameRack wrong")
+	}
+	// No rack tier: every node is its own rack.
+	q := Default(4)
+	if q.Rack(5) != q.Node(5) {
+		t.Fatal("rackless Rack should equal Node")
+	}
+	if q.rackTier(0, 5) {
+		t.Fatal("rackTier must be off when NodesPerRack <= 0")
+	}
+	if p.rackTier(0, 2) {
+		t.Fatal("same-node pairs never travel the rack tier")
+	}
+	if !p.rackTier(0, 5) {
+		t.Fatal("distinct nodes of one rack travel the rack tier")
+	}
+	if p.rackTier(0, 9) {
+		t.Fatal("cross-rack pairs travel the fabric, not the rack tier")
+	}
+}
+
+// TestThreeTierCosts: with a rack tier configured the cost functions select
+// among three tiers, ordered local < intra-node < intra-rack < fabric, and
+// partially specified rack params fall back to the fabric numbers.
+func TestThreeTierCosts(t *testing.T) {
+	p := Default(4)
+	p.NodesPerRack = 2
+	p.RackLatency = 600 * sim.Nanosecond
+	p.RackBandwidth = 10.0
+	p.RackAtomicRTT = 1300 * sim.Nanosecond
+	const n = 4096
+	local := p.TransferTime(2, 2, n)
+	intra := p.TransferTime(0, 2, n)  // same node
+	rack := p.TransferTime(0, 5, n)   // same rack, different node
+	fabric := p.TransferTime(0, 9, n) // different rack
+	if !(local < intra && intra < rack && rack < fabric) {
+		t.Fatalf("three-tier ordering violated: local=%d intra=%d rack=%d fabric=%d",
+			local, intra, rack, fabric)
+	}
+	if got, want := rack, p.RackLatency+sim.Time(float64(n)/p.RackBandwidth); got != want {
+		t.Errorf("rack TransferTime = %d, want %d", got, want)
+	}
+	if st := p.SerializationTime(0, 5, n); st != sim.Time(float64(n)/p.RackBandwidth) {
+		t.Errorf("rack SerializationTime = %d, want %d", st, sim.Time(float64(n)/p.RackBandwidth))
+	}
+	if at := p.AtomicTime(0, 5); at != p.RackAtomicRTT {
+		t.Errorf("rack AtomicTime = %d, want %d", at, p.RackAtomicRTT)
+	}
+	if at := p.AtomicTime(0, 9); at != p.AtomicRTT {
+		t.Errorf("fabric AtomicTime = %d, want %d", at, p.AtomicRTT)
+	}
+	// Partial rack tier: unset fields inherit the fabric values, so rack
+	// links never undercut the fabric by omission.
+	q := Default(4)
+	q.NodesPerRack = 2
+	if q.TransferTime(0, 5, n) != q.TransferTime(0, 9, n) {
+		t.Error("unset rack params should price rack links as fabric")
+	}
+	if q.AtomicTime(0, 5) != q.AtomicRTT {
+		t.Error("unset RackAtomicRTT should fall back to fabric AtomicRTT")
+	}
+	if q.MinLatency() != Default(4).MinLatency() {
+		t.Error("unset rack latency must not change MinLatency")
+	}
+}
+
+// TestTwoTierDefaultUnchanged: with NodesPerRack at its zero default the
+// cost model is bit-identical to the classic two-tier one — the rack fields
+// are dead weight. This is the contract that keeps all pre-rack golden
+// digests valid.
+func TestTwoTierDefaultUnchanged(t *testing.T) {
+	p := Default(4)
+	r := p
+	r.RackLatency = 600 * sim.Nanosecond // set but inert: NodesPerRack == 0
+	r.RackBandwidth = 10.0
+	r.RackAtomicRTT = 1300 * sim.Nanosecond
+	for _, pair := range [][2]int{{0, 0}, {0, 2}, {0, 5}, {0, 13}, {3, 4}} {
+		a, b := pair[0], pair[1]
+		for _, n := range []int{0, 8, 4096} {
+			if p.TransferTime(a, b, n) != r.TransferTime(a, b, n) {
+				t.Errorf("TransferTime(%d,%d,%d) changed with inert rack fields", a, b, n)
+			}
+			if p.SerializationTime(a, b, n) != r.SerializationTime(a, b, n) {
+				t.Errorf("SerializationTime(%d,%d,%d) changed with inert rack fields", a, b, n)
+			}
+		}
+		if p.AtomicTime(a, b) != r.AtomicTime(a, b) {
+			t.Errorf("AtomicTime(%d,%d) changed with inert rack fields", a, b)
+		}
+	}
+	if p.MinLatency() != r.MinLatency() {
+		t.Error("MinLatency changed with inert rack fields")
+	}
+}

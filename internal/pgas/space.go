@@ -63,12 +63,19 @@ type Space struct {
 	collNext Addr
 
 	ncWin  *rma.Win
-	ncNext []Addr              // bump pointer per rank
-	ncFree []map[uint64][]Addr // size-class free lists per rank
+	ncNext []Addr // bump pointer per rank
+	// ncFree holds per-rank size-class free lists. Maps are created
+	// lazily on the first FreeLocal to a rank: most ranks in a large run
+	// never free noncollective memory, and 16K eagerly allocated empty
+	// maps cost more than every other piece of per-rank pgas state
+	// combined. AllocLocal reads through nil maps for free.
+	ncFree []map[uint64][]Addr
 
 	epochWin *rma.Win // 16 bytes per rank: [0]=currentEpoch, [8]=requestEpoch
 
-	locals []*Local
+	// locals is one contiguous slab (like rma.Comm.ranks): per-rank
+	// handles are indexed, not individually heap-allocated.
+	locals []Local
 
 	// Stats aggregates cache behaviour over the whole space.
 	Stats SpaceStats
@@ -159,11 +166,13 @@ func New(comm *rma.Comm, cfg Config, pr *prof.Profiler) *Space {
 		panic(fmt.Sprintf("pgas: cache of %d blocks + %d home blocks needs %d mapping entries > limit %d (§4.3.2)",
 			cacheBlocks, cfg.MaxHomeBlocks, need, cfg.MaxMapEntries))
 	}
-	s.locals = make([]*Local, n)
+	s.locals = make([]Local, n)
+	// The per-rank noncollective pseudo-allocations come out of one slab
+	// too; only the pointers land in the sorted alloc list.
+	ncAllocs := make([]allocation, n)
 	nodeCaches := make(map[int]*memblock.Table)
 	for i := 0; i < n; i++ {
 		s.ncNext[i] = ncBase + Addr(i)*ncSpan
-		s.ncFree[i] = make(map[uint64][]Addr)
 		cache := memblock.NewTable(cacheBlocks, cfg.BlockSize, false)
 		if cfg.SharedCache {
 			node := comm.Net().Node(i)
@@ -173,7 +182,7 @@ func New(comm *rma.Comm, cfg Config, pr *prof.Profiler) *Space {
 				nodeCaches[node] = cache
 			}
 		}
-		s.locals[i] = &Local{
+		s.locals[i] = Local{
 			space:    s,
 			rank:     comm.Rank(i),
 			cache:    cache,
@@ -182,7 +191,7 @@ func New(comm *rma.Comm, cfg Config, pr *prof.Profiler) *Space {
 		}
 		// A pseudo-allocation per rank describing its noncollective region
 		// keeps address resolution uniform.
-		s.allocs = append(s.allocs, &allocation{
+		ncAllocs[i] = allocation{
 			base:   ncBase + Addr(i)*ncSpan,
 			size:   uint64(ncSpan),
 			req:    uint64(ncSpan),
@@ -190,7 +199,8 @@ func New(comm *rma.Comm, cfg Config, pr *prof.Profiler) *Space {
 			win:    s.ncWin,
 			chunk:  uint64(ncSpan),
 			nranks: 1,
-		})
+		}
+		s.allocs = append(s.allocs, &ncAllocs[i])
 	}
 	// Keep allocs sorted (noncollective bases ascend by construction).
 	return s
@@ -206,7 +216,7 @@ func (s *Space) Policy() Policy { return s.cfg.Policy }
 func (s *Space) Profiler() *prof.Profiler { return s.prof }
 
 // Local returns rank i's handle.
-func (s *Space) Local(i int) *Local { return s.locals[i] }
+func (s *Space) Local(i int) *Local { return &s.locals[i] }
 
 // BlockSize returns the memory-block size.
 func (s *Space) BlockSize() int { return s.cfg.BlockSize }
@@ -331,6 +341,9 @@ func (l *Local) FreeLocal(addr Addr, size uint64) error {
 		l.rank.Proc().Advance(s.comm.Net().AtomicTime(l.rank.ID(), owner))
 	} else {
 		l.rank.Proc().Advance(costAllocLocal)
+	}
+	if s.ncFree[owner] == nil {
+		s.ncFree[owner] = make(map[uint64][]Addr)
 	}
 	s.ncFree[owner][size] = append(s.ncFree[owner][size], addr)
 	return nil

@@ -20,15 +20,15 @@ func TestFlushRankWaitsOnlyOneTarget(t *testing.T) {
 			w.Put(r, small, 1, 0)
 			w.Put(r, big, 2, 0)
 			r.FlushRank(1)
-			if r.proc.Now() < r.pendingTo[1] {
-				t.Errorf("FlushRank(1) returned at %d before target-1 completion %d", r.proc.Now(), r.pendingTo[1])
+			if r.proc.Now() < r.pendingToTime(1) {
+				t.Errorf("FlushRank(1) returned at %d before target-1 completion %d", r.proc.Now(), r.pendingToTime(1))
 			}
 			if r.PendingTime() <= r.proc.Now() {
 				t.Errorf("FlushRank(1) waited for the big target-2 put too (now=%d pending=%d)", r.proc.Now(), r.PendingTime())
 			}
 			r.Flush()
-			if r.proc.Now() < r.pendingTo[2] {
-				t.Errorf("Flush returned at %d before target-2 completion %d", r.proc.Now(), r.pendingTo[2])
+			if r.proc.Now() < r.pendingToTime(2) {
+				t.Errorf("Flush returned at %d before target-2 completion %d", r.proc.Now(), r.pendingToTime(2))
 			}
 			// A FlushRank with nothing outstanding is free.
 			before := r.flushWaits

@@ -61,9 +61,13 @@ var (
 
 // Comm is a communicator over a fixed set of ranks.
 type Comm struct {
-	eng   *sim.Engine
-	net   netmodel.Params
-	ranks []*Rank
+	eng *sim.Engine
+	net netmodel.Params
+
+	// ranks is one contiguous slab rather than n separate heap objects:
+	// at paper scale (16K+ ranks) per-rank allocations dominate setup cost
+	// and fragment the heap, so endpoints are indexed, not pointer-chased.
+	ranks []Rank
 
 	inj    *fault.Injector // nil = no fault injection
 	tracer *trace.Log      // nil = no retry spans
@@ -89,11 +93,15 @@ type Comm struct {
 }
 
 // New creates a communicator with n ranks on engine e using network model p.
+// Setup is O(n) in both time and memory: per-rank state that used to be
+// sized by the communicator (the per-target pending table) is now a pruned
+// pair list that grows only with each rank's live communication fan-out.
 func New(e *sim.Engine, n int, p netmodel.Params) *Comm {
 	c := &Comm{eng: e, net: p, barSlots: make([]atomic.Int64, n)}
-	c.ranks = make([]*Rank, n)
+	c.ranks = make([]Rank, n)
 	for i := range c.ranks {
-		c.ranks[i] = &Rank{id: i, c: c, pendingTo: make([]sim.Time, n)}
+		c.ranks[i].id = i
+		c.ranks[i].c = c
 	}
 	return c
 }
@@ -112,8 +120,8 @@ func (c *Comm) SetTrace(tl *trace.Log) { c.tracer = tl }
 // RetriesByRank returns a copy of the per-origin-rank retry counts.
 func (c *Comm) RetriesByRank() []uint64 {
 	out := make([]uint64, len(c.ranks))
-	for i, r := range c.ranks {
-		out[i] = r.retries
+	for i := range c.ranks {
+		out[i] = c.ranks[i].retries
 	}
 	return out
 }
@@ -128,7 +136,7 @@ func (c *Comm) Net() netmodel.Params { return c.net }
 func (c *Comm) Engine() *sim.Engine { return c.eng }
 
 // Rank returns rank i.
-func (c *Comm) Rank(i int) *Rank { return c.ranks[i] }
+func (c *Comm) Rank(i int) *Rank { return &c.ranks[i] }
 
 // Stats reports cumulative one-sided traffic.
 type Stats struct {
@@ -147,7 +155,8 @@ type Stats struct {
 // simulation, or from a globally serialized section.
 func (c *Comm) Stats() Stats {
 	s := Stats{Barriers: c.barriers}
-	for _, r := range c.ranks {
+	for i := range c.ranks {
+		r := &c.ranks[i]
 		s.GetOps += r.getOps
 		s.PutOps += r.putOps
 		s.AtomicOps += r.atomicOps
@@ -199,9 +208,15 @@ type Rank struct {
 
 	// pendingTo tracks the completion time of the latest outstanding
 	// nonblocking op per target rank, so FlushRank can wait on one target
-	// without stalling on unrelated traffic. Allocated once at Comm
-	// creation — the fault-free hot path stays allocation-free.
-	pendingTo []sim.Time
+	// without stalling on unrelated traffic. It is a pruned pair list, not
+	// a communicator-sized table: an entry whose time is not in the
+	// rank's future is dead (a FlushRank on it would not wait) and is
+	// dropped on the next update, so the list length follows the rank's
+	// live fan-out — a handful of neighbors for stencils, the steal set
+	// for fork-join — instead of n. That turns per-rank state from O(n)
+	// into O(fan-out) and total communicator memory from O(n²) into O(n),
+	// the difference between 2 GB and a few MB at 16K ranks.
+	pendingTo []pendingEntry
 
 	// slowNum/slowDen is the rank's straggler time scale (0 = nominal),
 	// propagated to whichever process currently drives the rank.
@@ -216,6 +231,48 @@ type Rank struct {
 	flushWaits         uint64
 	retries            uint64
 	retryNs            uint64
+}
+
+// pendingEntry records the completion time of the latest outstanding
+// nonblocking op bound for one target rank.
+type pendingEntry struct {
+	target int32
+	t      sim.Time
+}
+
+// notePending folds completion time t for ops to target into the pending
+// pair list, keeping the per-target maximum and pruning entries that are
+// no longer in the rank's future. A rank's virtual clock is monotonic, so
+// a pruned entry can never become waitable again; dropping it leaves every
+// future FlushRank's behavior exactly unchanged.
+func (r *Rank) notePending(target int, t, now sim.Time) {
+	out := r.pendingTo[:0]
+	for _, e := range r.pendingTo {
+		if int(e.target) == target {
+			if e.t > t {
+				t = e.t
+			}
+			continue
+		}
+		if e.t > now {
+			out = append(out, e)
+		}
+	}
+	if t > now {
+		out = append(out, pendingEntry{target: int32(target), t: t})
+	}
+	r.pendingTo = out
+}
+
+// pendingToTime returns the completion time of the latest outstanding op
+// to target, or zero when nothing to target is outstanding.
+func (r *Rank) pendingToTime(target int) sim.Time {
+	for _, e := range r.pendingTo {
+		if int(e.target) == target {
+			return e.t
+		}
+	}
+	return 0
 }
 
 // ID returns the rank number.
@@ -313,9 +370,7 @@ func (r *Rank) issue(target, nbytes int) {
 		if now > r.pending {
 			r.pending = now
 		}
-		if now > r.pendingTo[target] {
-			r.pendingTo[target] = now
-		}
+		r.notePending(target, now, now)
 		return
 	}
 	if r.nicFree < now {
@@ -331,9 +386,7 @@ func (r *Rank) issue(target, nbytes int) {
 	if done > r.pending {
 		r.pending = done
 	}
-	if done > r.pendingTo[target] {
-		r.pendingTo[target] = done
-	}
+	r.notePending(target, done, now)
 }
 
 // Flush blocks until all nonblocking operations issued by this rank have
@@ -352,7 +405,7 @@ func (r *Rank) Flush() {
 // release fence drain each written home rank without stalling on traffic
 // bound elsewhere. A FlushRank that has nothing to wait for is free.
 func (r *Rank) FlushRank(target int) {
-	if d := r.pendingTo[target] - r.proc.Now(); d > 0 {
+	if d := r.pendingToTime(target) - r.proc.Now(); d > 0 {
 		r.flushWaits++
 		r.proc.Advance(d)
 	}
@@ -398,8 +451,8 @@ func (r *Rank) Barrier() {
 		rel += sim.Time(steps) * c.net.Latency
 		c.barriers++
 		c.barArrived.Store(0)
-		for i, q := range c.ranks {
-			r.proc.ScheduleWake(q.proc, rel, uint64(i))
+		for i := range c.ranks {
+			r.proc.ScheduleWake(c.ranks[i].proc, rel, uint64(i))
 		}
 	}
 	r.proc.Park()
@@ -421,6 +474,14 @@ func (w *Win) ID() int { return w.id }
 
 // NewWin creates a window where rank i exposes sizes[i] bytes. It is a
 // setup-time (SPMD) operation.
+//
+// All segments are carved from one backing slab: at 16K ranks the
+// alternative — one allocation per rank per window — costs tens of
+// thousands of small heap objects before the first timestep runs. Each
+// segment is a full-slice-expression subslice (capacity pinned to its
+// length) so Grow's in-place extension path can never bleed into the next
+// rank's bytes; growing past a segment's capacity reallocates just that
+// segment, exactly as before.
 func (c *Comm) NewWin(sizes []int) *Win {
 	if len(sizes) != len(c.ranks) {
 		panic(fmt.Sprintf("rma: NewWin got %d sizes for %d ranks", len(sizes), len(c.ranks)))
@@ -428,8 +489,15 @@ func (c *Comm) NewWin(sizes []int) *Win {
 	w := &Win{c: c, id: c.nwins, gens: make([]uint64, len(sizes))}
 	c.nwins++
 	w.segs = make([][]byte, len(sizes))
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	slab := make([]byte, total)
+	off := 0
 	for i, s := range sizes {
-		w.segs[i] = make([]byte, s)
+		w.segs[i] = slab[off : off+s : off+s]
+		off += s
 	}
 	return w
 }

@@ -16,7 +16,11 @@
 //     every process on the shard has parked, blocked, or exited. Shards
 //     share no mutable state during a round; cross-shard communication is
 //     deferred into per-shard-pair mailboxes and merged at the round
-//     boundary in (time, key) order.
+//     boundary in (time, key) order, each destination shard folding its
+//     own mail in on its own worker so merges parallelize too. The
+//     coordinator signals only shards that actually have queued events
+//     (or mail), so per-round host synchronization scales with active
+//     shards, not configured shards.
 //
 // # Why round-boundary merges are safe (lookahead)
 //
@@ -73,6 +77,12 @@ type sharded struct {
 	started   bool
 	rounds    uint64 // parallel rounds completed
 	splits    uint64 // global→parallel transitions
+
+	// active is the coordinator's reusable scratch list of shards selected
+	// for the current signal (non-empty queues for a round, non-empty
+	// inboxes for a merge), so per-round coordination cost follows the
+	// number of shards with actual work, not the shard count.
+	active []*shard
 }
 
 // shard is one host worker's slice of the simulation: a private event
@@ -88,10 +98,10 @@ type shard struct {
 	seq     uint64
 	root    chan struct{} // baton back to the shard worker when the queue drains
 	runCh   chan struct{} // coordinator → worker: run one round
-	doneCh  chan struct{} // worker → coordinator: round quiesced
+	mergeCh chan struct{} // coordinator → worker: merge this shard's inbox
+	doneCh  chan struct{} // worker → coordinator: round / merge finished
 	current *Proc
-	live    map[*Proc]struct{}
-	parked  map[*Proc]struct{}
+	live    procList
 	inbox   [][]event // mailbox per source shard, merged at round boundaries
 	pending []event   // resumes for pin-parked processes, released at the global merge
 	stats   EngineStats
@@ -122,16 +132,16 @@ func NewEngineShards(nshards int, lookahead Time) *Engine {
 	sh := &sharded{lookahead: lookahead}
 	for i := 0; i < nshards; i++ {
 		sh.shards = append(sh.shards, &shard{
-			id:     i,
-			eng:    e,
-			root:   make(chan struct{}),
-			runCh:  make(chan struct{}),
-			doneCh: make(chan struct{}),
-			live:   make(map[*Proc]struct{}),
-			parked: make(map[*Proc]struct{}),
-			inbox:  make([][]event, nshards),
+			id:      i,
+			eng:     e,
+			root:    make(chan struct{}),
+			runCh:   make(chan struct{}),
+			mergeCh: make(chan struct{}),
+			doneCh:  make(chan struct{}),
+			inbox:   make([][]event, nshards),
 		})
 	}
+	sh.active = make([]*shard, 0, nshards)
 	e.sh = sh
 	return e
 }
@@ -263,15 +273,49 @@ func (e *Engine) runSharded() error {
 		sh.parallel = true
 		sh.splits++
 		for {
+			// Only shards with queued events are signalled: an empty
+			// shard's round is a no-op, so skipping its run/done
+			// round-trip changes nothing observable while cutting
+			// per-round host synchronization from O(shards) to O(active
+			// shards) — the dominant cost for barrier-paced workloads
+			// whose rounds touch a few shards at a time. Reading queue
+			// lengths here is race-free: every worker is quiescent
+			// between rounds (the doneCh handshake ordered its last
+			// writes before this read).
+			run := sh.active[:0]
 			for _, s := range sh.shards {
+				if len(s.queue) > 0 {
+					run = append(run, s)
+				}
+			}
+			for _, s := range run {
 				s.runCh <- struct{}{}
 			}
-			for _, s := range sh.shards {
+			for _, s := range run {
 				<-s.doneCh
 			}
 			sh.rounds++
-			moved := e.mergeInboxes()
-			if sh.pins.Load() > 0 || !moved {
+			// Merge phase: each destination shard with mail folds its own
+			// inboxes into its queue on its own worker, concurrently with
+			// the other destinations. Shards without mail skip the
+			// round-trip entirely; when nothing moved anywhere the window
+			// is exhausted.
+			merge := sh.active[:0]
+			for _, s := range sh.shards {
+				for _, box := range s.inbox {
+					if len(box) > 0 {
+						merge = append(merge, s)
+						break
+					}
+				}
+			}
+			for _, s := range merge {
+				s.mergeCh <- struct{}{}
+			}
+			for _, s := range merge {
+				<-s.doneCh
+			}
+			if sh.pins.Load() > 0 || len(merge) == 0 {
 				break
 			}
 		}
@@ -288,13 +332,7 @@ func (e *Engine) runSharded() error {
 	}
 	var names []string
 	for _, s := range sh.shards {
-		for p := range s.live {
-			state := "running"
-			if _, ok := s.parked[p]; ok {
-				state = "parked"
-			}
-			names = append(names, p.Name+"("+state+")")
-		}
+		names = append(names, s.live.names()...)
 	}
 	if len(names) > 0 {
 		sort.Strings(names)
@@ -374,26 +412,23 @@ func (e *Engine) globalDispatch(self *Proc) {
 	}
 }
 
-// mergeInboxes delivers round-boundary mailboxes into their destination
-// shards' queues, asserting conservativeness. It reports whether any event
-// moved. Runs on the coordinator between rounds; the round-end channel
-// handshake orders it after all shard-worker writes.
-func (e *Engine) mergeInboxes() bool {
-	moved := false
-	for _, dst := range e.sh.shards {
-		for src, box := range dst.inbox {
-			for _, ev := range box {
-				if ev.at < dst.now {
-					panic(fmt.Sprintf("sim: conservative violation: event from shard %d at %d is in shard %d's past (clock %d, lookahead %d)",
-						src, ev.at, dst.id, dst.now, e.sh.lookahead))
-				}
-				dst.queue = heapPush(dst.queue, ev)
-				moved = true
+// mergeInbox delivers this shard's round-boundary mailboxes into its own
+// queue, asserting conservativeness. It runs on the shard's worker during
+// the merge phase, so the per-destination merges proceed concurrently;
+// each worker touches only its own queue and clears only its own inboxes,
+// and the coordinator's channel handshakes order every source shard's
+// mailbox writes before this read.
+func (s *shard) mergeInbox() {
+	for src, box := range s.inbox {
+		for _, ev := range box {
+			if ev.at < s.now {
+				panic(fmt.Sprintf("sim: conservative violation: event from shard %d at %d is in shard %d's past (clock %d, lookahead %d)",
+					src, ev.at, s.id, s.now, s.eng.sh.lookahead))
 			}
-			dst.inbox[src] = dst.inbox[src][:0]
+			s.queue = heapPush(s.queue, ev)
 		}
+		s.inbox[src] = s.inbox[src][:0]
 	}
-	return moved
 }
 
 // mergeToGlobal folds every shard queue and pin-park resume into the
@@ -414,12 +449,22 @@ func (e *Engine) mergeToGlobal() {
 	}
 }
 
-// worker is a shard's host goroutine: it runs one quiescence round per
-// coordinator request.
+// worker is a shard's host goroutine: it runs one quiescence round or one
+// inbox merge per coordinator request. The coordinator never signals both
+// channels at once, and closes runCh to retire the worker.
 func (s *shard) worker() {
-	for range s.runCh {
-		s.drain()
-		s.doneCh <- struct{}{}
+	for {
+		select {
+		case _, ok := <-s.runCh:
+			if !ok {
+				return
+			}
+			s.drain()
+			s.doneCh <- struct{}{}
+		case <-s.mergeCh:
+			s.mergeInbox()
+			s.doneCh <- struct{}{}
+		}
 	}
 }
 

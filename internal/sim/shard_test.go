@@ -201,6 +201,61 @@ func TestNewEngineShardsDegenerate(t *testing.T) {
 	}
 }
 
+// lockstepDigest runs a trivial barrier-paced workload at rank scale and
+// folds every rank's post-barrier clock into one FNV-1a digest, so two
+// engines can be compared without holding per-rank traces.
+func lockstepDigest(t *testing.T, eng *Engine, nproc, steps int, latency Time) uint64 {
+	t.Helper()
+	digests := make([]uint64, nproc)
+	bar := newMiniBarrier(nproc, latency)
+	shards := eng.Shards()
+	for i := 0; i < nproc; i++ {
+		rank := i
+		p := eng.SpawnOn(rank*shards/nproc, fmt.Sprintf("p%d", rank), func(p *Proc) {
+			h := uint64(14695981039346656037)
+			for s := 0; s < steps; s++ {
+				p.Advance(Time(7 * (rank%61 + 1) * (s + 1)))
+				bar.wait(p, rank)
+				h = (h ^ uint64(p.Now())) * 1099511628211
+			}
+			digests[rank] = h
+		})
+		bar.procs[rank] = p
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	h := uint64(14695981039346656037)
+	for _, d := range digests {
+		h = (h ^ d) * 1099511628211
+	}
+	return h
+}
+
+// TestShardedDigestParity16K is the paper-scale smoke test: at 16,384
+// ranks the sharded engine's schedule must stay bit-identical to the
+// serial engine's. The rank count is the point — it exercises the event
+// tie-break key bands (FIFO counters, per-shard banded counters, keyed
+// wakes up to rank 16383) far beyond what the small parity tests reach,
+// so a band overflow or a key collision at scale fails here instead of in
+// a 16K-rank benchmark run.
+func TestShardedDigestParity16K(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16K-rank parity smoke is not a -short test")
+	}
+	const nproc, steps = 16384, 3
+	const latency = Time(1200)
+	want := lockstepDigest(t, NewEngine(), nproc, steps, latency)
+	eng := NewEngineShards(4, latency)
+	got := lockstepDigest(t, eng, nproc, steps, latency)
+	if got != want {
+		t.Fatalf("16K-rank digest diverged: shards=4 %016x, serial %016x", got, want)
+	}
+	if st := eng.Stats(); st.Rounds == 0 {
+		t.Fatalf("expected parallel rounds at 16K ranks, stats %+v", st)
+	}
+}
+
 // TestKeyedWakeOrder checks that keyed wakes at one instant fire in key
 // order and after FIFO events of the same instant.
 func TestKeyedWakeOrder(t *testing.T) {

@@ -113,8 +113,7 @@ type Engine struct {
 	queue   []event // 4-ary min-heap ordered by (at, key)
 	seq     uint64
 	root    chan struct{} // dispatch returns the baton to Run when the queue drains
-	live    map[*Proc]struct{}
-	parked  map[*Proc]struct{}
+	live    procList
 	current *Proc
 	stats   EngineStats
 
@@ -124,14 +123,58 @@ type Engine struct {
 	sh *sharded
 }
 
+// procList is an intrusive doubly-linked list of live processes, threaded
+// through Proc.livePrev/liveNext. It replaces the engine's former
+// map[*Proc]struct{} live/parked sets: at 16K+ processes the map buckets
+// dominated kernel setup memory, while the intrusive links cost two words
+// inside the Proc itself, insert and exit are O(1), and the parked state
+// reads straight off the Proc flag the kernel maintains anyway. The list
+// is only ever walked for deadlock diagnostics.
+type procList struct {
+	head *Proc
+	n    int
+}
+
+func (l *procList) add(p *Proc) {
+	p.liveNext = l.head
+	if l.head != nil {
+		l.head.livePrev = p
+	}
+	l.head = p
+	l.n++
+}
+
+func (l *procList) remove(p *Proc) {
+	if p.livePrev != nil {
+		p.livePrev.liveNext = p.liveNext
+	} else {
+		l.head = p.liveNext
+	}
+	if p.liveNext != nil {
+		p.liveNext.livePrev = p.livePrev
+	}
+	p.livePrev, p.liveNext = nil, nil
+	l.n--
+}
+
+// names returns "name(state)" diagnostics for every live process, for
+// deadlock reports.
+func (l *procList) names() []string {
+	var out []string
+	for p := l.head; p != nil; p = p.liveNext {
+		state := "running"
+		if p.parked {
+			state = "parked"
+		}
+		out = append(out, p.Name+"("+state+")")
+	}
+	return out
+}
+
 // NewEngine returns a new engine with the clock at zero and no pending
 // events.
 func NewEngine() *Engine {
-	return &Engine{
-		root:   make(chan struct{}),
-		live:   make(map[*Proc]struct{}),
-		parked: make(map[*Proc]struct{}),
-	}
+	return &Engine{root: make(chan struct{})}
 }
 
 // Now returns the current virtual time.
@@ -282,9 +325,9 @@ func (e *Engine) SpawnOn(shard int, name string, fn func(*Proc)) *Proc {
 	e.stats.Spawns++
 	if e.sh != nil {
 		p.shd = e.sh.shards[shard]
-		p.shd.live[p] = struct{}{}
+		p.shd.live.add(p)
 	} else {
-		e.live[p] = struct{}{}
+		e.live.add(p)
 	}
 	e.scheduleResume(p, e.now)
 	return p
@@ -319,8 +362,7 @@ func (p *Proc) exit() {
 	e := p.eng
 	p.dead = true
 	if p.shd != nil {
-		delete(p.shd.live, p)
-		delete(p.shd.parked, p)
+		p.shd.live.remove(p)
 		if e.sh.parallel {
 			p.shd.dispatch(nil)
 		} else {
@@ -328,8 +370,7 @@ func (p *Proc) exit() {
 		}
 		return
 	}
-	delete(e.live, p)
-	delete(e.parked, p)
+	e.live.remove(p)
 	e.dispatch(nil)
 }
 
@@ -413,15 +454,8 @@ func (e *Engine) Run() error {
 		// hand off among themselves in the meantime.
 		<-e.root
 	}
-	if len(e.live) > 0 {
-		var names []string
-		for p := range e.live {
-			state := "running"
-			if _, ok := e.parked[p]; ok {
-				state = "parked"
-			}
-			names = append(names, p.Name+"("+state+")")
-		}
+	if e.live.n > 0 {
+		names := e.live.names()
 		sort.Strings(names)
 		return &DeadlockError{Parked: names}
 	}
@@ -443,6 +477,10 @@ type Proc struct {
 	dead    bool
 	parked  bool
 	permits int
+
+	// livePrev/liveNext thread the engine's (or shard's) intrusive list
+	// of live processes; see procList.
+	livePrev, liveNext *Proc
 
 	// scaleNum/scaleDen stretch Advance durations (straggler modelling);
 	// scaleNum == 0 means nominal speed.
@@ -519,7 +557,6 @@ func (p *Proc) Park() {
 	}
 	p.parked = true
 	if p.shd != nil {
-		p.shd.parked[p] = struct{}{}
 		if p.eng.sh.parallel {
 			p.shd.dispatch(p)
 		} else {
@@ -527,7 +564,6 @@ func (p *Proc) Park() {
 		}
 		return
 	}
-	p.eng.parked[p] = struct{}{}
 	p.eng.dispatch(p)
 }
 
@@ -546,7 +582,6 @@ func (p *Proc) Wake() {
 	}
 	p.parked = false
 	if p.shd != nil {
-		delete(p.shd.parked, p)
 		if e.sh.parallel {
 			p.shd.scheduleResume(p, p.shd.now)
 		} else {
@@ -554,6 +589,5 @@ func (p *Proc) Wake() {
 		}
 		return
 	}
-	delete(e.parked, p)
 	e.scheduleResume(p, e.now)
 }
