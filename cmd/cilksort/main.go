@@ -36,9 +36,11 @@ func main() {
 	policy := flag.String("policy", "lazy", "cache policy: nocache|wt|wb|lazy")
 	seed := flag.Int64("seed", 1, "workload seed")
 	verify := flag.Bool("verify", true, "verify sortedness and checksum")
-	profile := flag.Bool("profile", false, "print the profiler breakdown")
+	profBreakdown := flag.Bool("prof", false, "print the profiler category breakdown (Fig. 9)")
 	traceFile := flag.String("tracefile", "", "write a Chrome-tracing JSON event log to this file")
-	traceDump, metricsFile := obs.Flags()
+	traceDump, metricsFile, profileFile := obs.Flags()
+	traceRing := obs.RingFlag()
+	hostProcs := obs.ProcsFlag()
 	coalesce, prefetch := obs.BatchFlags()
 	flag.Parse()
 
@@ -53,6 +55,9 @@ func main() {
 		Pgas:         ityr.PgasConfig{Policy: pol},
 		Seed:         *seed,
 		Trace:        *traceFile != "" || *traceDump != "",
+		Profile:      *profileFile != "",
+		TraceRing:    *traceRing,
+		HostProcs:    *hostProcs,
 	}
 	obs.ApplyBatch(&cfg.Pgas, *coalesce, *prefetch)
 	rt := ityr.NewRuntime(cfg)
@@ -102,7 +107,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *profile {
+	if *profBreakdown {
 		fmt.Print(rt.Profiler().Format(sortTime))
 	}
 	if *traceFile != "" {
@@ -118,7 +123,7 @@ func main() {
 		}
 		fmt.Printf("  trace          %d events -> %s\n", rt.Trace().Len(), *traceFile)
 	}
-	if err := obs.Write(rt, *traceDump, *metricsFile); err != nil {
+	if err := obs.Write(rt, *traceDump, *metricsFile, *profileFile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

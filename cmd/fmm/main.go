@@ -29,7 +29,9 @@ func main() {
 	dist := flag.String("dist", "cube", "particle distribution: cube|sphere|plummer")
 	verify := flag.Bool("verify", false, "verify against direct summation (O(N²) on the host)")
 	mpi := flag.Bool("mpi", false, "also run the static MPI baseline model")
-	traceDump, metricsFile := obs.Flags()
+	traceDump, metricsFile, profileFile := obs.Flags()
+	traceRing := obs.RingFlag()
+	hostProcs := obs.ProcsFlag()
 	coalesce, prefetch := obs.BatchFlags()
 	flag.Parse()
 
@@ -63,9 +65,12 @@ func main() {
 
 	cfg := ityr.Config{
 		Ranks: *ranks, CoresPerNode: *cores,
-		Pgas:  ityr.PgasConfig{Policy: pol},
-		Seed:  *seed,
-		Trace: *traceDump != "",
+		Pgas:      ityr.PgasConfig{Policy: pol},
+		Seed:      *seed,
+		Trace:     *traceDump != "",
+		Profile:   *profileFile != "",
+		TraceRing: *traceRing,
+		HostProcs: *hostProcs,
 	}
 	obs.ApplyBatch(&cfg.Pgas, *coalesce, *prefetch)
 	rt := ityr.NewRuntime(cfg)
@@ -118,7 +123,7 @@ func main() {
 		fmt.Printf("  MPI model  %.3f ms on %d nodes (idleness %.2f)\n",
 			float64(r.Elapsed)/1e6, nodes, r.Idleness)
 	}
-	if err := obs.Write(rt, *traceDump, *metricsFile); err != nil {
+	if err := obs.Write(rt, *traceDump, *metricsFile, *profileFile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -62,6 +62,8 @@ func main() {
 	scalingMax := flag.Int("scalingmax", 0, "with -scaling: cap the sweep's rank counts (0 = full curve to 16384); CI smoke uses 1728")
 	fleet := flag.Int("fleet", 0, "run N independent deterministic simulations concurrently across host cores and report sims/sec; with -hostperf, adds the 'fleet' section to the JSON report")
 	fleetWorkers := flag.Int("fleetworkers", 0, "with -fleet: concurrent host workers (0 = GOMAXPROCS)")
+	racks := flag.Int("racks", 0, "nodes per rack for the three-tier network model (rack latency/bandwidth between intra-node and fabric); 0 keeps the flat fabric")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "live-telemetry interval for long host runs (-scaling, -fleet, -perf, -hostperf): periodic stderr lines with sim-time watermark, events/sec and host RSS; 0 disables")
 	flag.Parse()
 
 	// Shard the simulation engine across host workers. Every experiment's
@@ -69,6 +71,10 @@ func main() {
 	// changes how fast the host gets there.
 	bench.SetHostProcs(*procs)
 	bench.SetCacheBatching(*coalesce, *prefetch)
+	bench.SetRacks(*racks)
+	if *scaling || *fleet > 0 || *perfFile != "" || *hostperf != "" {
+		bench.SetHeartbeat(os.Stderr, *heartbeat)
+	}
 
 	// scalingCurve trims the sweep to rank counts <= -scalingmax.
 	scalingCurve := func() []int {

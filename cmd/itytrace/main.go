@@ -26,6 +26,7 @@ func fail(err error) {
 func main() {
 	chrome := flag.String("chrome", "", "also re-export the events as Chrome tracing JSON (load in Perfetto) to this file")
 	metricsOut := flag.String("metrics", "", "also extract the embedded metrics snapshot to this file ('-' for stdout)")
+	profileOut := flag.String("profile", "", "also extract the embedded itoyori-profile/v1 snapshot to this file ('-' for stdout)")
 	events := flag.Bool("events", false, "print the raw event stream instead of the report")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: itytrace [flags] DUMP\nanalyzes an itytrace/v1 dump written by -trace\n")
@@ -57,6 +58,9 @@ func main() {
 		fmt.Printf(", policy %s", meta.Policy)
 	}
 	fmt.Println()
+	if trace.DropWarning(os.Stdout, meta) {
+		fmt.Println()
+	}
 	fmt.Println()
 
 	a := trace.Analyze(l, meta.Ranks)
@@ -65,6 +69,9 @@ func main() {
 		fail(err)
 	}
 	if err := trace.ResilienceReport(os.Stdout, meta.Metrics); err != nil {
+		fail(err)
+	}
+	if err := trace.ProfileReport(os.Stdout, meta.Profile); err != nil {
 		fail(err)
 	}
 
@@ -96,6 +103,23 @@ func main() {
 			fail(fmt.Errorf("dump carries no metrics snapshot"))
 		}
 		if _, err := w.Write(append(meta.Metrics, '\n')); err != nil {
+			fail(err)
+		}
+	}
+	if *profileOut != "" {
+		w := os.Stdout
+		if *profileOut != "-" {
+			pf, err := os.Create(*profileOut)
+			if err != nil {
+				fail(err)
+			}
+			defer pf.Close()
+			w = pf
+		}
+		if len(meta.Profile) == 0 {
+			fail(fmt.Errorf("dump carries no profile snapshot (run with -profile)"))
+		}
+		if _, err := w.Write(append(meta.Profile, '\n')); err != nil {
 			fail(err)
 		}
 	}

@@ -21,7 +21,9 @@ func main() {
 	policy := flag.String("policy", "lazy", "cache policy: nocache|wt|wb|lazy")
 	seed := flag.Int64("seed", 1, "scheduler seed")
 	classic := flag.Bool("classic", false, "run the original memory-free UTS instead of UTS-Mem")
-	traceDump, metricsFile := obs.Flags()
+	traceDump, metricsFile, profileFile := obs.Flags()
+	traceRing := obs.RingFlag()
+	hostProcs := obs.ProcsFlag()
 	coalesce, prefetch := obs.BatchFlags()
 	flag.Parse()
 
@@ -52,9 +54,12 @@ func main() {
 
 	cfg := ityr.Config{
 		Ranks: *ranks, CoresPerNode: *cores,
-		Pgas:  ityr.PgasConfig{Policy: pol},
-		Seed:  *seed,
-		Trace: *traceDump != "",
+		Pgas:      ityr.PgasConfig{Policy: pol},
+		Seed:      *seed,
+		Trace:     *traceDump != "",
+		Profile:   *profileFile != "",
+		TraceRing: *traceRing,
+		HostProcs: *hostProcs,
 	}
 	obs.ApplyBatch(&cfg.Pgas, *coalesce, *prefetch)
 	rt := ityr.NewRuntime(cfg)
@@ -98,7 +103,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "MISMATCH: built %d, traversed %d\n", built, counted)
 		os.Exit(1)
 	}
-	if err := obs.Write(rt, *traceDump, *metricsFile); err != nil {
+	if err := obs.Write(rt, *traceDump, *metricsFile, *profileFile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

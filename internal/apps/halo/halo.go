@@ -30,6 +30,8 @@ import (
 	"math"
 
 	"ityr"
+	"ityr/internal/netmodel"
+	"ityr/internal/profile"
 	"ityr/internal/rma"
 	"ityr/internal/sim"
 )
@@ -49,6 +51,17 @@ type Config struct {
 	// CellCost is the virtual compute cost charged per cell per step
 	// (defaults to 2ns).
 	CellCost sim.Time
+	// NodesPerRack, when positive, swaps in the three-tier rack topology
+	// (netmodel.RackDefault) so the run exercises node/rack/fabric
+	// locality attribution.
+	NodesPerRack int
+	// Profile arms the streaming profile collector (ityr.Config.Profile).
+	// Digest-inert: the digest is bit-identical with it on or off.
+	Profile bool
+	// Observe, when non-nil, is called with the built runtime before the
+	// simulation starts — the hook live-telemetry callers use to watch
+	// Engine().LiveTime()/LiveEvents() while the run is in flight.
+	Observe func(rt *ityr.Runtime)
 }
 
 // Result carries a finished run's observables.
@@ -70,6 +83,10 @@ type Result struct {
 	// only — deliberately excluded from Digest, which folds simulated
 	// observables alone.
 	Events uint64
+	// Profile is the streaming-profile snapshot (nil unless
+	// Config.Profile). Excluded from Digest by construction — the digest
+	// must not change when profiling toggles.
+	Profile *profile.Doc
 }
 
 // Digest folds every simulated observable into one printable string; two
@@ -100,11 +117,24 @@ func Run(cfg Config) (Result, error) {
 	if cfg.CellCost == 0 {
 		cfg.CellCost = 2 * sim.Nanosecond
 	}
-	rt := ityr.NewRuntime(ityr.Config{
+	rcfg := ityr.Config{
 		Ranks:        cfg.Ranks,
 		CoresPerNode: cfg.CoresPerNode,
 		HostProcs:    cfg.HostProcs,
-	})
+		Profile:      cfg.Profile,
+	}
+	if cfg.NodesPerRack > 0 {
+		cores := cfg.CoresPerNode
+		if cores == 0 {
+			cores = 8 // mirror core.Config.withDefaults
+		}
+		net := netmodel.RackDefault(cores, cfg.NodesPerRack)
+		rcfg.Net = &net
+	}
+	rt := ityr.NewRuntime(rcfg)
+	if cfg.Observe != nil {
+		cfg.Observe(rt)
+	}
 	n := cfg.Ranks
 	cells := cfg.CellsPerRank
 	// Segment layout per rank, in float64 slots: [ghostL | cells... | ghostR].
@@ -173,6 +203,9 @@ func Run(cfg Config) (Result, error) {
 		HostShards: rt.Engine().Shards(),
 		Events:     rt.Engine().Stats().Events,
 		FinalState: make([]float64, 0, n*cells),
+	}
+	if p := rt.Profile(); p != nil {
+		res.Profile = p.Snapshot()
 	}
 	for r := 0; r < n; r++ {
 		seg := win.Seg(r)

@@ -13,6 +13,7 @@ import (
 	"ityr"
 	"ityr/internal/apps/cilksort"
 	"ityr/internal/apps/uts"
+	"ityr/internal/netmodel"
 	"ityr/internal/sim"
 )
 
@@ -142,12 +143,28 @@ func SetCacheBatching(coalesce bool, prefetch int) {
 	cachePrefetch = prefetch
 }
 
+// racksNodes is the rack-topology knob (cmd/itybench's -racks flag):
+// nodes per rack for the three-tier network model. 0 — the default —
+// keeps the flat two-tier fabric, so existing experiment outputs are
+// untouched unless the flag is given.
+var racksNodes = 0
+
+// SetRacks selects the three-tier rack topology (netmodel.RackDefault)
+// for subsequent experiment runs: nodesPerRack nodes share a rack tier
+// between intra-node and fabric. Values below 1 restore the flat fabric.
+func SetRacks(nodesPerRack int) {
+	if nodesPerRack < 0 {
+		nodesPerRack = 0
+	}
+	racksNodes = nodesPerRack
+}
+
 // runtimeConfig assembles the paper-like machine configuration (Table 1,
 // scaled): 64 KiB blocks, 4 KiB sub-blocks, 16 MiB private cache per
 // process, block-cyclic collective distribution (chosen by the apps), with
 // the communication-batching knobs applied.
 func runtimeConfig(ranks, coresPerNode int, pol ityr.Policy, seed int64) ityr.Config {
-	return ityr.Config{
+	cfg := ityr.Config{
 		Ranks:        ranks,
 		CoresPerNode: coresPerNode,
 		HostProcs:    hostProcs,
@@ -161,6 +178,11 @@ func runtimeConfig(ranks, coresPerNode int, pol ityr.Policy, seed int64) ityr.Co
 		},
 		Seed: seed,
 	}
+	if racksNodes > 0 {
+		net := netmodel.RackDefault(coresPerNode, racksNodes)
+		cfg.Net = &net
+	}
+	return cfg
 }
 
 // ms renders virtual nanoseconds as milliseconds.
@@ -171,6 +193,8 @@ func ms(t sim.Time) float64 { return float64(t) / 1e6 }
 // access.
 func CilksortRun(n, cutoff int64, ranks, coresPerNode int, pol ityr.Policy, seed int64) (sim.Time, *ityr.Runtime) {
 	rt := ityr.NewRuntime(runtimeConfig(ranks, coresPerNode, pol, seed))
+	stopHB := watchEngine(fmt.Sprintf("cilksort n=%d", n), ranks, rt.Engine())
+	defer stopHB()
 	var elapsed sim.Time
 	err := rt.Run(func(s *ityr.SPMD) {
 		var a, b ityr.GSpan[cilksort.Elem]
@@ -288,6 +312,8 @@ func Fig9(w io.Writer, sc Scale) []Row {
 // returning the runtime as well for traffic-counter access.
 func UTSRun(tree uts.Tree, ranks, coresPerNode int, pol ityr.Policy, seed int64) (sim.Time, int64, *ityr.Runtime) {
 	rt := ityr.NewRuntime(runtimeConfig(ranks, coresPerNode, pol, seed))
+	stopHB := watchEngine("utsmem "+tree.Name, ranks, rt.Engine())
+	defer stopHB()
 	var elapsed sim.Time
 	var nodes int64
 	err := rt.Run(func(s *ityr.SPMD) {

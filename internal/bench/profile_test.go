@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"ityr"
+	"ityr/internal/apps/cilksort"
+	"ityr/internal/apps/halo"
+	"ityr/internal/netmodel"
+	"ityr/internal/profile"
+)
+
+// haloProfileConfig is the profile-equivalence workload: a 16-rank ring on
+// the three-tier rack topology (4 cores/node, 2 nodes/rack), so the
+// communication matrix must attribute self, node, rack AND fabric traffic.
+func haloProfileConfig(procs int, prof bool) halo.Config {
+	return halo.Config{
+		Ranks:        16,
+		CoresPerNode: 4,
+		NodesPerRack: 2,
+		CellsPerRank: 256,
+		Steps:        15,
+		HostProcs:    procs,
+		Profile:      prof,
+	}
+}
+
+func haloProfileRun(t *testing.T, procs int, prof bool) (string, []byte) {
+	t.Helper()
+	res, err := halo.Run(haloProfileConfig(procs, prof))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap []byte
+	if prof {
+		if res.Profile == nil {
+			t.Fatal("profile armed but Result.Profile is nil")
+		}
+		if snap, err = json.Marshal(res.Profile); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return res.Digest(), snap
+}
+
+// TestProfileShardedSerialEquivalence is the tentpole determinism gate for
+// the streaming profile: per-rank accumulators recorded across 4 host
+// shards must merge (rank-ordered fold) to the byte-identical snapshot the
+// serial engine produces. Under `go test -race` (the race-all CI job) it
+// doubles as the data-race stress for lock-free per-rank recording.
+func TestProfileShardedSerialEquivalence(t *testing.T) {
+	_, want := haloProfileRun(t, 1, true)
+	for _, procs := range []int{2, 4} {
+		_, got := haloProfileRun(t, procs, true)
+		if !bytes.Equal(got, want) {
+			t.Errorf("profile snapshot diverges at HostProcs=%d:\n  procs=1: %s\n  procs=%d: %s",
+				procs, want, procs, got)
+		}
+	}
+	var doc profile.Doc
+	if err := json.Unmarshal(want, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != profile.Schema || doc.Ranks != 16 {
+		t.Errorf("snapshot header = %s/%d", doc.Schema, doc.Ranks)
+	}
+	if doc.Rollup.PutOps == 0 || doc.Rollup.BarrierNs == 0 || doc.Rollup.StallNs == 0 {
+		t.Errorf("halo rollup missing expected activity: %+v", doc.Rollup)
+	}
+	// The ring topology on 4-rank nodes and 2-node racks crosses every
+	// locality tier except self.
+	byTier := map[string]uint64{}
+	for _, ts := range doc.Tiers {
+		byTier[ts.Tier] = ts.Ops
+	}
+	if byTier["node"] == 0 || byTier["rack"] == 0 || byTier["fabric"] == 0 {
+		t.Errorf("rack-topology ring should touch node, rack and fabric tiers: %+v", doc.Tiers)
+	}
+	if doc.Matrix == nil {
+		t.Error("16-rank run should carry the exact matrix")
+	}
+}
+
+// TestProfileForkJoinEquivalence covers the other engine regime: cilksort
+// lives in the globally serialized fork-join phase, where spans come from
+// the scheduler (task/steal/idle) rather than SPMD barriers.
+func TestProfileForkJoinEquivalence(t *testing.T) {
+	run := func(procs int) []byte {
+		cfg := runtimeConfig(Smoke.FixedRanks, Smoke.CoresPerNode, ityr.WriteBackLazy, 11)
+		cfg.HostProcs = procs
+		cfg.Profile = true
+		rt := ityr.NewRuntime(cfg)
+		err := rt.Run(func(s *ityr.SPMD) {
+			var a, b ityr.GSpan[cilksort.Elem]
+			if s.Rank() == 0 {
+				a = ityr.AllocArraySPMD[cilksort.Elem](s, Smoke.CilksortN, ityr.BlockCyclicDist)
+				b = ityr.AllocArraySPMD[cilksort.Elem](s, Smoke.CilksortN, ityr.BlockCyclicDist)
+			}
+			s.Barrier()
+			s.RootExec(func(c *ityr.Ctx) { cilksort.Generate(c, a, 11) })
+			s.RootExec(func(c *ityr.Ctx) { cilksort.Sort(c, a, b, Smoke.Cutoffs[0]) })
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rt.WriteProfile(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := run(1)
+	for _, procs := range []int{4} {
+		if got := run(procs); !bytes.Equal(got, want) {
+			t.Errorf("fork-join profile diverges at HostProcs=%d", procs)
+		}
+	}
+	var doc profile.Doc
+	if err := json.Unmarshal(want, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Rollup.TaskNs == 0 || doc.Rollup.CheckoutCalls == 0 {
+		t.Errorf("fork-join rollup missing task/checkout activity: %+v", doc.Rollup)
+	}
+}
+
+// TestProfileDigestInert: arming the profile must not perturb a single
+// simulated observable — golden digests are bit-identical with it on or
+// off (recording reads the clock but never advances it).
+func TestProfileDigestInert(t *testing.T) {
+	off, _ := haloProfileRun(t, 1, false)
+	on, _ := haloProfileRun(t, 1, true)
+	if on != off {
+		t.Errorf("profiling perturbed the digest:\n  off: %s\n  on:  %s", off, on)
+	}
+}
+
+// Profile state budgets at the 16K-rank scale: O(buckets + top-K) per
+// rank, never O(ranks²). The collector alone must stay within
+// profileBudgetBytesPerRank, and a full runtime with profiling armed must
+// still fit the PR-wide per-rank setup budget — the profile rides in the
+// headroom the memory diet left.
+const profileBudgetBytesPerRank = 3 * 1024
+
+func retainedBytes(t *testing.T, f func() any) float64 {
+	t.Helper()
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	keep := f()
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	ret := float64(int64(m1.HeapAlloc) - int64(m0.HeapAlloc))
+	runtime.KeepAlive(keep)
+	return ret
+}
+
+func TestProfileMemoryBudget16K(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16K-rank profile setup allocates ~30MB; skipped under -short")
+	}
+	net := netmodel.RackDefault(8, 4)
+	small := retainedBytes(t, func() any { return profile.New(1024, net) }) / 1024
+	big := retainedBytes(t, func() any { return profile.New(budgetRanks, net) }) / budgetRanks
+	t.Logf("profile state: %.0f B/rank at 1K ranks, %.0f B/rank at %d ranks (budget %d)",
+		small, big, budgetRanks, profileBudgetBytesPerRank)
+	if big > profileBudgetBytesPerRank {
+		t.Errorf("profile retains %.0f B/rank at 16K ranks, over the %d B/rank budget",
+			big, profileBudgetBytesPerRank)
+	}
+	// Linearity: per-rank cost must not grow with the rank count (an
+	// O(ranks²) matrix would make the 16K point ~16x the 1K point).
+	if big > 2*small {
+		t.Errorf("profile per-rank cost grew from %.0f B (1K ranks) to %.0f B (16K ranks) — superlinear state", small, big)
+	}
+	// Full runtime with profiling armed: still inside the setup budget.
+	cfg := runtimeConfig(budgetRanks, 8, ityr.WriteBackLazy, 11)
+	cfg.Profile = true
+	perRank := retainedBytes(t, func() any { return ityr.NewRuntime(cfg) }) / budgetRanks
+	t.Logf("runtime+profile setup: %.0f B/rank (budget %d)", perRank, budgetBytesPerRank)
+	if perRank > budgetBytesPerRank {
+		t.Errorf("runtime with profiling retains %.0f B/rank, over the %d B/rank budget",
+			perRank, budgetBytesPerRank)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ityr"
@@ -53,9 +54,26 @@ var scalingWorkloads = []struct {
 	run      func(ranks int) (simNs int64, events uint64)
 }{
 	{"halo-spmd", 0, func(ranks int) (int64, uint64) {
-		res, err := halo.Run(halo.Config{
+		res, err := runHaloWatched("halo-spmd", halo.Config{
 			Ranks:        ranks,
 			CoresPerNode: 8,
+			CellsPerRank: 256,
+			Steps:        10,
+			HostProcs:    hostProcs,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return res.Elapsed, res.Events
+	}},
+	// halo on the three-tier rack topology (4 nodes/rack): same stencil,
+	// but every ring neighbour pair is attributed to the self/node/rack/
+	// fabric locality tier the profile's communication matrix reports.
+	{"halo-racks", 0, func(ranks int) (int64, uint64) {
+		res, err := runHaloWatched("halo-racks", halo.Config{
+			Ranks:        ranks,
+			CoresPerNode: 8,
+			NodesPerRack: 4,
 			CellsPerRank: 256,
 			Steps:        10,
 			HostProcs:    hostProcs,
@@ -69,6 +87,18 @@ var scalingWorkloads = []struct {
 		elapsed, rt := CilksortRun(1<<18, 16<<10, ranks, 8, ityr.WriteBackLazy, 11)
 		return elapsed, rt.Engine().Stats().Events
 	}},
+}
+
+// runHaloWatched runs halo with the live-telemetry heartbeat attached for
+// the run's duration (a no-op when the heartbeat is disarmed).
+func runHaloWatched(label string, cfg halo.Config) (halo.Result, error) {
+	stop := func() {}
+	cfg.Observe = func(rt *ityr.Runtime) {
+		stop = watchEngine(label, cfg.Ranks, rt.Engine())
+	}
+	res, err := halo.Run(cfg)
+	stop()
+	return res, err
 }
 
 // ScalingSweep measures every workload at every rank count of curve
@@ -152,6 +182,8 @@ func FleetRun(w io.Writer, sims, workers int) FleetResult {
 	}
 	digests := make([]string, sims)
 	events := make([]uint64, sims)
+	var completed atomic.Uint64
+	stopHB := watchCounter(fmt.Sprintf("fleet x%d ranks=%d", sims, fleetConfig.Ranks), sims, &completed)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	t0 := time.Now()
@@ -166,6 +198,7 @@ func FleetRun(w io.Writer, sims, workers int) FleetResult {
 				}
 				digests[idx] = res.Digest()
 				events[idx] = res.Events
+				completed.Add(1)
 			}
 		}()
 	}
@@ -174,6 +207,7 @@ func FleetRun(w io.Writer, sims, workers int) FleetResult {
 	}
 	close(next)
 	wg.Wait()
+	stopHB()
 	hostNs := time.Since(t0).Nanoseconds()
 	res := FleetResult{
 		Sims:       sims,

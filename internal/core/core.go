@@ -18,6 +18,7 @@ import (
 	"ityr/internal/netmodel"
 	"ityr/internal/pgas"
 	"ityr/internal/prof"
+	"ityr/internal/profile"
 	"ityr/internal/rma"
 	"ityr/internal/sim"
 	"ityr/internal/trace"
@@ -45,6 +46,14 @@ type Config struct {
 	// TraceRing bounds the trace to the most recent TraceRing events per
 	// rank (ring buffer); 0 keeps everything.
 	TraceRing int
+	// Profile enables the constant-memory streaming profile
+	// (internal/profile): online per-rank rollups, the locality-tiered
+	// communication matrix and the occupancy timeline, all O(1) state per
+	// rank. Independent of Trace — at large rank counts it is the layer
+	// that still fits when span rings cannot — and digest-inert: recording
+	// never advances virtual time, so simulated results are bit-identical
+	// with it on or off.
+	Profile bool
 	// Overlap enables communication-computation overlap (§8 future work):
 	// while a checkout's remote fetch is in flight, the rank runs other
 	// ready tasks instead of stalling.
@@ -93,6 +102,7 @@ type Runtime struct {
 	space   *pgas.Space
 	sched   *uth.Sched
 	prof    *prof.Profiler
+	stream  *profile.Profile
 	trace   *trace.Log
 	metrics *metrics.Registry
 	inj     *fault.Injector
@@ -158,6 +168,13 @@ func NewRuntime(cfg Config) *Runtime {
 	space.MetricCheckoutBytes = reg.Histogram("pgas_checkout_bytes", metrics.ExpBuckets(64, 4, 12))
 	sched := uth.NewSched(comm, cfg.Sched, hooks{space: space, trace: tl, eng: eng})
 	sched.SetTrace(tl)
+	var stream *profile.Profile
+	if cfg.Profile {
+		stream = profile.New(cfg.Ranks, net)
+		comm.SetProfile(stream)
+		space.Profile = stream
+		sched.Profile = stream
+	}
 	sched.StealLatency = reg.Histogram("uth_steal_latency_ns", trace.StealLatencyBounds)
 	sched.FailedStealLatency = reg.Histogram("uth_failed_steal_latency_ns", trace.StealLatencyBounds)
 	if cfg.Overlap {
@@ -169,7 +186,7 @@ func NewRuntime(cfg Config) *Runtime {
 		}
 	}
 	return &Runtime{cfg: cfg, eng: eng, comm: comm, space: space, sched: sched,
-		prof: pr, trace: tl, metrics: reg, inj: inj}
+		prof: pr, stream: stream, trace: tl, metrics: reg, inj: inj}
 }
 
 // Injector returns the armed fault injector (nil unless Config.Faults).
@@ -177,6 +194,19 @@ func (rt *Runtime) Injector() *fault.Injector { return rt.inj }
 
 // Trace returns the event log (nil unless Config.Trace was set).
 func (rt *Runtime) Trace() *trace.Log { return rt.trace }
+
+// Profile returns the streaming profile collector (nil unless
+// Config.Profile was set).
+func (rt *Runtime) Profile() *profile.Profile { return rt.stream }
+
+// WriteProfile writes the streaming-profile snapshot as indented
+// "itoyori-profile/v1" JSON. It fails when profiling was not enabled.
+func (rt *Runtime) WriteProfile(w io.Writer) error {
+	if rt.stream == nil {
+		return fmt.Errorf("core: profiling was not enabled (Config.Profile)")
+	}
+	return rt.stream.WriteJSON(w)
+}
 
 // Metrics returns the runtime's metrics registry (always present).
 func (rt *Runtime) Metrics() *metrics.Registry { return rt.metrics }
@@ -249,6 +279,12 @@ func (rt *Runtime) MetricsSnapshot() metrics.Snapshot {
 	reg.Counter("uth_steal_blacklists").Set(us.Blacklists)
 	reg.Counter("uth_blacklist_skips").Set(us.BlacklistSkips)
 
+	// Ring-truncation observability: surfaced only when tracing is on, so
+	// trace-free snapshots keep their historical key set.
+	if rt.trace != nil {
+		reg.Counter("trace_dropped_spans").Set(rt.trace.Dropped())
+	}
+
 	// Fault-plan observability: surfaced only when a plan is armed, so
 	// fault-free snapshots keep their historical key set.
 	if rt.inj != nil {
@@ -279,11 +315,18 @@ func (rt *Runtime) WriteTrace(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var profSnap json.RawMessage
+	if rt.stream != nil {
+		if profSnap, err = json.Marshal(rt.stream.Snapshot()); err != nil {
+			return err
+		}
+	}
 	return rt.trace.WriteDump(w, trace.Meta{
 		Ranks:        rt.cfg.Ranks,
 		CoresPerNode: rt.cfg.CoresPerNode,
 		Policy:       rt.space.Policy().String(),
 		Metrics:      snap,
+		Profile:      profSnap,
 	})
 }
 

@@ -96,6 +96,53 @@ func Default(coresPerNode int) Params {
 	}
 }
 
+// RackDefault returns Default with a rack tier of the given width armed:
+// node m lives in rack m/nodesPerRack, and traffic between distinct nodes
+// of one rack pays a leaf-switch cost between the shared-memory and fabric
+// numbers. This is the shipped three-tier experiment preset (itybench
+// -racks); nodesPerRack <= 0 degenerates to the two-tier Default.
+func RackDefault(coresPerNode, nodesPerRack int) Params {
+	p := Default(coresPerNode)
+	if nodesPerRack <= 0 {
+		return p
+	}
+	p.NodesPerRack = nodesPerRack
+	p.RackLatency = 700 * sim.Nanosecond
+	p.RackBandwidth = 10.0
+	p.RackAtomicRTT = 1600 * sim.Nanosecond
+	return p
+}
+
+// Locality tiers returned by Tier, ordered nearest to farthest. The values
+// are stable indices (profile accumulators array over them); NumTiers is
+// the array length.
+const (
+	TierSelf   = iota // a == b: no wire traffic at all
+	TierNode          // distinct ranks sharing a node (shared-memory transport)
+	TierRack          // distinct nodes sharing a rack (one leaf-switch hop)
+	TierFabric        // everything else: the full interconnect
+	NumTiers          // number of locality tiers
+)
+
+// TierName maps a Tier index to its short lowercase name.
+var TierName = [NumTiers]string{"self", "node", "rack", "fabric"}
+
+// Tier classifies the locality tier that traffic from rank a to rank b
+// travels — the same tier TransferTime and AtomicTime price. Without a
+// configured rack tier, TierRack is never returned.
+func (p Params) Tier(a, b int) int {
+	switch {
+	case a == b:
+		return TierSelf
+	case p.SameNode(a, b):
+		return TierNode
+	case p.rackTier(a, b):
+		return TierRack
+	default:
+		return TierFabric
+	}
+}
+
 // Node returns the node index hosting rank r.
 func (p Params) Node(r int) int {
 	if p.CoresPerNode <= 0 {

@@ -280,3 +280,39 @@ func TestTwoTierDefaultUnchanged(t *testing.T) {
 		t.Error("MinLatency changed with inert rack fields")
 	}
 }
+
+// Tier attribution drives the streaming profile's communication matrix:
+// self < node < rack < fabric, with the rack tier appearing only when the
+// topology defines one.
+func TestTierAttribution(t *testing.T) {
+	p := RackDefault(4, 2) // 4 cores/node, 2 nodes/rack => 8 ranks/rack
+	cases := []struct{ a, b, want int }{
+		{3, 3, TierSelf},
+		{0, 3, TierNode},
+		{0, 4, TierRack},
+		{0, 8, TierFabric},
+		{8, 11, TierNode}, // second rack's intra-node pair
+		{8, 15, TierRack}, // second rack, across its two nodes
+	}
+	for _, c := range cases {
+		if got := p.Tier(c.a, c.b); got != c.want {
+			t.Errorf("Tier(%d,%d) = %s, want %s", c.a, c.b, TierName[got], TierName[c.want])
+		}
+	}
+	// Rack transfers must price between intra-node and fabric.
+	const n = 4096
+	intra := p.TransferTime(0, 1, n)
+	rack := p.TransferTime(0, 4, n)
+	fabric := p.TransferTime(0, 8, n)
+	if !(intra < rack && rack < fabric) {
+		t.Errorf("rack cost ordering violated: intra=%d rack=%d fabric=%d", intra, rack, fabric)
+	}
+	// The flat default has no rack tier: everything cross-node is fabric.
+	flat := Default(4)
+	if flat.Tier(0, 4) != TierFabric || flat.Tier(0, 3) != TierNode || flat.Tier(2, 2) != TierSelf {
+		t.Error("flat-fabric tier attribution wrong")
+	}
+	if RackDefault(4, 0) != Default(4) {
+		t.Error("RackDefault with 0 nodes/rack should be the flat default")
+	}
+}

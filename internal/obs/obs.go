@@ -1,6 +1,7 @@
 // Package obs is the shared command-line plumbing for the example
-// binaries (cilksort, fmm, utsmem): the -trace/-metrics observability
-// flags and the -coalesce/-prefetch cache communication-batching knobs.
+// binaries (cilksort, fmm, utsmem): the -trace/-metrics/-profile
+// observability flags and the -coalesce/-prefetch cache
+// communication-batching knobs.
 // Each binary registers the flags, applies them to its Config, and calls
 // Write after the run. Keeping this here means every command emits the
 // same file formats (itytrace/v1 and itoyori-metrics/v1) that
@@ -17,14 +18,34 @@ import (
 	"ityr/internal/pgas"
 )
 
-// Flags registers -trace and -metrics on the default flag set and
-// returns pointers to their values.
-func Flags() (traceFile, metricsFile *string) {
+// Flags registers -trace, -metrics and -profile on the default flag set
+// and returns pointers to their values. A nonempty -profile should set
+// Config.Profile so the streaming collector is armed for the run.
+func Flags() (traceFile, metricsFile, profileFile *string) {
 	traceFile = flag.String("trace", "",
 		"write an itytrace/v1 dump (analyze with itytrace) to this file")
 	metricsFile = flag.String("metrics", "",
 		"write an itoyori-metrics/v1 JSON snapshot to this file ('-' for stdout)")
-	return traceFile, metricsFile
+	profileFile = flag.String("profile", "",
+		"write an itoyori-profile/v1 streaming-profile snapshot to this file ('-' for stdout)")
+	return traceFile, metricsFile, profileFile
+}
+
+// RingFlag registers -tracering, the per-rank span ring bound
+// (Config.TraceRing). Truncated runs are flagged by itytrace's WARNING
+// line and the trace_dropped_spans metric; the streaming profile (whose
+// rollups never truncate) is the graceful-degradation companion.
+func RingFlag() *int {
+	return flag.Int("tracering", 0,
+		"bound the trace to the most recent N events per rank (ring buffer); 0 keeps everything")
+}
+
+// ProcsFlag registers -procs, the host-side engine shard count
+// (Config.HostProcs). 0 keeps the serial engine; sharded runs produce
+// the same digests, metrics and profile snapshots bit-for-bit.
+func ProcsFlag() *int {
+	return flag.Int("procs", 0,
+		"host engine shards for parallel execution (0 = serial; results are identical either way)")
 }
 
 // BatchFlags registers the cache communication-batching knobs -coalesce
@@ -50,8 +71,9 @@ func ApplyBatch(cfg *pgas.Config, coalesce bool, prefetch int) {
 }
 
 // Write emits the dump files requested by the flags. rt must have been
-// built with Config.Trace set when traceFile is nonempty.
-func Write(rt *core.Runtime, traceFile, metricsFile string) error {
+// built with Config.Trace set when traceFile is nonempty, and with
+// Config.Profile set when profileFile is nonempty.
+func Write(rt *core.Runtime, traceFile, metricsFile, profileFile string) error {
 	if traceFile != "" {
 		f, err := os.Create(traceFile)
 		if err != nil {
@@ -77,6 +99,20 @@ func Write(rt *core.Runtime, traceFile, metricsFile string) error {
 		}
 		if err := rt.WriteMetrics(w); err != nil {
 			return fmt.Errorf("writing metrics %s: %w", metricsFile, err)
+		}
+	}
+	if profileFile != "" {
+		w := os.Stdout
+		if profileFile != "-" {
+			f, err := os.Create(profileFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rt.WriteProfile(w); err != nil {
+			return fmt.Errorf("writing profile %s: %w", profileFile, err)
 		}
 	}
 	return nil

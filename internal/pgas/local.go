@@ -170,6 +170,7 @@ func (l *Local) Checkout(addr Addr, size uint64, mode Mode) ([]byte, error) {
 	t0 := l.rank.Proc().Now()
 	cat := l.profAs(prof.CatCheckout)
 	s.Stats.CheckoutCalls++
+	s.Profile.CheckoutCall(l.rank.ID())
 
 	if size == 0 {
 		l.outstanding = append(l.outstanding, checkoutRec{addr: addr, size: 0, mode: mode})
@@ -240,6 +241,7 @@ func (l *Local) Checkout(addr Addr, size uint64, mode Mode) ([]byte, error) {
 			}
 			hb.Ref++
 			s.Stats.HitBytes += req.Len()
+			s.Profile.CheckoutHit(me, req.Len())
 			rec.pieces = append(rec.pieces, piece{
 				g: Addr(req.Lo), n: int(req.Len()),
 				hb: hb, homeRank: homeRank, win: win,
@@ -265,6 +267,7 @@ func (l *Local) Checkout(addr Addr, size uint64, mode Mode) ([]byte, error) {
 		if mode == Write {
 			cb.Valid.Add(req)
 			s.Stats.HitBytes += req.Len()
+			s.Profile.CheckoutHit(me, req.Len())
 		} else if !cb.Valid.Contains(req) {
 			// Fetch missing sub-blocks from the home (Fig. 4 lines 17-21).
 			padded := region.Interval{
@@ -287,14 +290,17 @@ func (l *Local) Checkout(addr Addr, size uint64, mode Mode) ([]byte, error) {
 				cb.Valid.Add(m)
 				s.Stats.FetchOps++
 				s.Stats.FetchBytes += m.Len()
+				s.Profile.CheckoutMiss(me, m.Len())
 				fetched += m.Len()
 				s.TraceLog.Rec(l.rank.Proc().Now(), me, trace.KCacheMiss, int64(m.Len()))
 			}
 			if ov := req.Len(); ov > fetched {
 				s.Stats.HitBytes += ov - fetched
+				s.Profile.CheckoutHit(me, ov-fetched)
 			}
 		} else {
 			s.Stats.HitBytes += req.Len()
+			s.Profile.CheckoutHit(me, req.Len())
 			if wasPrefetched {
 				l.pfHit()
 			}

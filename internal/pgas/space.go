@@ -7,6 +7,7 @@ import (
 	"ityr/internal/memblock"
 	"ityr/internal/metrics"
 	"ityr/internal/prof"
+	"ityr/internal/profile"
 	"ityr/internal/rma"
 	"ityr/internal/sim"
 	"ityr/internal/trace"
@@ -88,6 +89,11 @@ type Space struct {
 	// TraceLog, when non-nil, receives cache events (misses, write-backs,
 	// evictions) with virtual timestamps.
 	TraceLog *trace.Log
+	// Profile, when non-nil, receives streaming checkout hit/miss rollups.
+	// Unlike Stats (space-global, mutated only from serialized phases) the
+	// profile folds into per-rank accumulators, so the hooks are safe from
+	// any phase. Nil-safe like TraceLog.
+	Profile *profile.Profile
 	// MetricAcquireNs / MetricReleaseNs / MetricCheckoutBytes, when
 	// non-nil, receive per-event observations: acquire-fence and
 	// release/write-back durations (virtual ns) and checked-out sizes

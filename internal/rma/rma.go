@@ -42,6 +42,7 @@ import (
 
 	"ityr/internal/fault"
 	"ityr/internal/netmodel"
+	"ityr/internal/profile"
 	"ityr/internal/sim"
 	"ityr/internal/trace"
 )
@@ -69,8 +70,9 @@ type Comm struct {
 	// and fragment the heap, so endpoints are indexed, not pointer-chased.
 	ranks []Rank
 
-	inj    *fault.Injector // nil = no fault injection
-	tracer *trace.Log      // nil = no retry spans
+	inj    *fault.Injector  // nil = no fault injection
+	tracer *trace.Log       // nil = no retry spans
+	prof   *profile.Profile // nil = no streaming profile
 
 	// Barrier state: per-rank virtual arrival times plus an atomic arrival
 	// counter. Writing the slot before the Add and reading all slots only
@@ -116,6 +118,13 @@ func (c *Comm) Faults() *fault.Injector { return c.inj }
 
 // SetTrace attaches an event log so retries appear as KRetry spans.
 func (c *Comm) SetTrace(tl *trace.Log) { c.tracer = tl }
+
+// SetProfile attaches the streaming profile collector: one-sided ops feed
+// the communication matrix and flush/barrier waits feed the stall rollups.
+// A nil profile (the default) keeps every hook to a single nil-check.
+// Recording only ever reads the virtual clock, so the simulated schedule —
+// and with it every golden digest — is bit-identical with or without it.
+func (c *Comm) SetProfile(p *profile.Profile) { c.prof = p }
 
 // RetriesByRank returns a copy of the per-origin-rank retry counts.
 func (c *Comm) RetriesByRank() []uint64 {
@@ -345,6 +354,7 @@ func (r *Rank) retryFaults(target int) {
 func (r *Rank) ChargeAtomic(target int) {
 	r.retryFaults(target)
 	r.proc.Advance(r.c.net.AtomicTimeAt(r.proc.Now(), r.id, target))
+	r.c.prof.RMA(r.id, target, profile.OpAtomic, 8)
 }
 
 // ChargeTransfer charges the cost of a blocking nbytes transfer from
@@ -353,6 +363,7 @@ func (r *Rank) ChargeAtomic(target int) {
 func (r *Rank) ChargeTransfer(target, nbytes int) {
 	r.retryFaults(target)
 	r.proc.Advance(r.c.net.TransferTimeAt(r.proc.Now(), r.id, target, nbytes))
+	r.c.prof.RMA(r.id, target, profile.OpGet, nbytes)
 }
 
 // issue models the origin-side cost and NIC serialization of a one-sided
@@ -396,7 +407,9 @@ func (r *Rank) issue(target, nbytes int) {
 func (r *Rank) Flush() {
 	if d := r.pending - r.proc.Now(); d > 0 {
 		r.flushWaits++
+		t0 := r.pending - d // == Now() before the wait
 		r.proc.Advance(d)
+		r.c.prof.Span(r.id, profile.SpanStall, t0, r.proc.Now()-t0)
 	}
 }
 
@@ -407,7 +420,9 @@ func (r *Rank) Flush() {
 func (r *Rank) FlushRank(target int) {
 	if d := r.pendingToTime(target) - r.proc.Now(); d > 0 {
 		r.flushWaits++
+		t0 := r.proc.Now()
 		r.proc.Advance(d)
+		r.c.prof.Span(r.id, profile.SpanStall, t0, r.proc.Now()-t0)
 	}
 }
 
@@ -436,7 +451,8 @@ func (r *Rank) Barrier() {
 		c.barriers++
 		return
 	}
-	c.barSlots[r.id].Store(r.proc.Now())
+	arrive := r.proc.Now()
+	c.barSlots[r.id].Store(arrive)
 	if int(c.barArrived.Add(1)) == n {
 		rel := sim.Time(0)
 		for i := range c.barSlots {
@@ -456,6 +472,7 @@ func (r *Rank) Barrier() {
 		}
 	}
 	r.proc.Park()
+	r.c.prof.Span(r.id, profile.SpanBarrier, arrive, r.proc.Now()-arrive)
 }
 
 // Win is a one-sided memory window: one segment of bytes per rank.
@@ -591,6 +608,7 @@ func (w *Win) Get(r *Rank, target, off int, dst []byte) {
 	r.issue(target, len(dst))
 	r.getOps++
 	r.getBytes += uint64(len(dst))
+	r.c.prof.RMA(r.id, target, profile.OpGet, len(dst))
 }
 
 // Put starts a nonblocking write of src into target's segment at off.
@@ -601,6 +619,7 @@ func (w *Win) Put(r *Rank, src []byte, target, off int) {
 	r.issue(target, len(src))
 	r.putOps++
 	r.putBytes += uint64(len(src))
+	r.c.prof.RMA(r.id, target, profile.OpPut, len(src))
 }
 
 // GetUint64 is a blocking 8-byte read (issue + flush), as used for polling
@@ -609,6 +628,7 @@ func (w *Win) GetUint64(r *Rank, target, off int) uint64 {
 	w.check(target, off, 8)
 	v := binary.LittleEndian.Uint64(w.segs[target][off:])
 	r.issue(target, 8)
+	r.c.prof.RMA(r.id, target, profile.OpGet, 8)
 	r.Flush()
 	return v
 }

@@ -315,6 +315,10 @@ func (e *Engine) runSharded() error {
 			for _, s := range merge {
 				<-s.doneCh
 			}
+			// Every worker is quiescent here (the doneCh handshakes above
+			// ordered their last writes), so publishing the live progress
+			// snapshot from the coordinator is race-free.
+			e.publishLive()
 			if sh.pins.Load() > 0 || len(merge) == 0 {
 				break
 			}

@@ -50,6 +50,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Time is a point in virtual time, in nanoseconds since the start of the
@@ -121,6 +122,46 @@ type Engine struct {
 	// one shard. All parallel behaviour hangs off it; when nil, every path
 	// below is the serial kernel unchanged.
 	sh *sharded
+
+	// liveNow/liveEvents are low-frequency snapshots of the clock and the
+	// dispatched-event count, published for host-side progress reporting
+	// (LiveTime/LiveEvents). They are written by whichever goroutine holds
+	// the baton — every few thousand pops on the serial path, at round
+	// boundaries on the sharded path — so reading them from a heartbeat
+	// goroutine is race-free, cheap, and never perturbs the simulation.
+	liveNow    atomic.Int64
+	liveEvents atomic.Uint64
+}
+
+// liveEvery sets how many serial event pops elapse between live-snapshot
+// publications (a power of two; the check is a mask on a counter the pop
+// path maintains anyway).
+const liveEvery = 4096
+
+// LiveTime returns a recent snapshot of the virtual clock. Unlike Now it
+// may be called from any host goroutine while the engine runs; the value
+// trails the true clock by at most one publication interval.
+func (e *Engine) LiveTime() Time { return e.liveNow.Load() }
+
+// LiveEvents returns a recent snapshot of the total events dispatched,
+// with the same concurrency contract as LiveTime.
+func (e *Engine) LiveEvents() uint64 { return e.liveEvents.Load() }
+
+// publishLive refreshes the live snapshots from the aggregate stats. Only
+// call with the engine quiescent or the baton held.
+func (e *Engine) publishLive() {
+	now := e.now
+	ev := e.stats.Events
+	if e.sh != nil {
+		for _, shd := range e.sh.shards {
+			ev += shd.stats.Events
+			if shd.now > now {
+				now = shd.now
+			}
+		}
+	}
+	e.liveNow.Store(now)
+	e.liveEvents.Store(ev)
 }
 
 // procList is an intrusive doubly-linked list of live processes, threaded
@@ -262,6 +303,9 @@ func (e *Engine) push(ev event) { e.queue = heapPush(e.queue, ev) }
 // pop removes and returns the earliest event from the serial/global queue.
 func (e *Engine) pop() event {
 	e.stats.Events++
+	if e.stats.Events&(liveEvery-1) == 0 {
+		e.publishLive()
+	}
 	top, q := heapPop(e.queue)
 	e.queue = q
 	return top

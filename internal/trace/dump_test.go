@@ -148,3 +148,57 @@ func TestDisabledInstrumentationZeroAllocs(t *testing.T) {
 		t.Errorf("disabled instrumentation allocates %v per event, want 0", n)
 	}
 }
+
+// The profile snapshot and per-rank drop totals ride the dump as opaque
+// metadata: WriteDump computes drops from the live rings, ReadDump hands
+// both back so offline reports can warn and render without the runtime.
+func TestDumpProfileAndDropsRoundtrip(t *testing.T) {
+	l := NewRing(2)
+	for i := int64(1); i <= 5; i++ {
+		l.Rec(sim.Time(i*10), 1, KFork, i) // rank 1 drops 3
+	}
+	l.Rec(60, 0, KFork, 9) // rank 0 drops none
+	prof := json.RawMessage(`{"schema":"itoyori-profile/v1","ranks":2}`)
+	var b bytes.Buffer
+	if err := l.WriteDump(&b, Meta{Ranks: 2, Profile: prof}); err != nil {
+		t.Fatal(err)
+	}
+	_, meta, err := ReadDump(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(meta.Profile) != string(prof) {
+		t.Errorf("profile payload = %s", meta.Profile)
+	}
+	if meta.Dropped != 3 {
+		t.Errorf("Dropped = %d, want 3", meta.Dropped)
+	}
+	if len(meta.DroppedByRank) != 2 || meta.DroppedByRank[0] != 0 || meta.DroppedByRank[1] != 3 {
+		t.Errorf("DroppedByRank = %v, want [0 3]", meta.DroppedByRank)
+	}
+
+	var w strings.Builder
+	if !DropWarning(&w, meta) {
+		t.Fatal("DropWarning did not fire on a truncated dump")
+	}
+	if !strings.HasPrefix(w.String(), "WARNING:") || !strings.Contains(w.String(), "rank 1: 3") {
+		t.Errorf("warning line = %q", w.String())
+	}
+	if DropWarning(&strings.Builder{}, Meta{Ranks: 2}) {
+		t.Error("DropWarning fired on a clean dump")
+	}
+
+	var rep strings.Builder
+	if err := ProfileReport(&rep, meta.Profile); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "streaming profile") {
+		t.Errorf("profile report missing header:\n%s", rep.String())
+	}
+	if err := ProfileReport(&rep, nil); err != nil {
+		t.Errorf("empty profile payload should be silent, got %v", err)
+	}
+	if err := ProfileReport(&rep, json.RawMessage(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Error("unknown profile schema accepted")
+	}
+}

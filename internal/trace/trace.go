@@ -208,6 +208,20 @@ func (l *Log) Dropped() uint64 {
 	return n
 }
 
+// DroppedByRank returns the per-rank overwrite counts (index = rank), or
+// nil when no ring has dropped anything — truncation is an exceptional
+// condition and the clean path should not allocate.
+func (l *Log) DroppedByRank() []uint64 {
+	if l == nil || l.Dropped() == 0 {
+		return nil
+	}
+	out := make([]uint64, len(l.rings))
+	for i := range l.rings {
+		out[i] = l.rings[i].dropped
+	}
+	return out
+}
+
 // Events returns the retained events merged across ranks in recording
 // order (the deterministic global sequence, not timestamp order — ranks
 // record interleaved but each at monotonically nondecreasing times).
@@ -374,31 +388,43 @@ type Meta struct {
 	CoresPerNode int             `json:"cores_per_node,omitempty"`
 	Policy       string          `json:"policy,omitempty"`
 	Metrics      json.RawMessage `json:"metrics,omitempty"`
+	// Profile, when present, is the run's embedded streaming-profile
+	// snapshot (an "itoyori-profile/v1" document, see internal/profile).
+	Profile json.RawMessage `json:"profile,omitempty"`
+	// Dropped and DroppedByRank surface ring-buffer truncation: the total
+	// overwritten events and the per-rank breakdown (nil when clean).
+	// Filled by ReadDump; WriteDump computes them from the log itself.
+	Dropped       uint64   `json:"-"`
+	DroppedByRank []uint64 `json:"-"`
 }
 
 // dumpDoc is the on-disk form: events as compact [t, dur, rank, kind,
 // arg, arg2] tuples in recording order.
 type dumpDoc struct {
-	Schema       string          `json:"schema"`
-	Ranks        int             `json:"ranks"`
-	CoresPerNode int             `json:"cores_per_node,omitempty"`
-	Policy       string          `json:"policy,omitempty"`
-	Dropped      uint64          `json:"dropped,omitempty"`
-	Metrics      json.RawMessage `json:"metrics,omitempty"`
-	Events       [][6]int64      `json:"events"`
+	Schema        string          `json:"schema"`
+	Ranks         int             `json:"ranks"`
+	CoresPerNode  int             `json:"cores_per_node,omitempty"`
+	Policy        string          `json:"policy,omitempty"`
+	Dropped       uint64          `json:"dropped,omitempty"`
+	DroppedByRank []uint64        `json:"dropped_by_rank,omitempty"`
+	Metrics       json.RawMessage `json:"metrics,omitempty"`
+	Profile       json.RawMessage `json:"profile,omitempty"`
+	Events        [][6]int64      `json:"events"`
 }
 
 // WriteDump serializes the log and metadata as an "itytrace/v1" JSON
 // document for cmd/itytrace.
 func (l *Log) WriteDump(w io.Writer, m Meta) error {
 	doc := dumpDoc{
-		Schema:       DumpSchema,
-		Ranks:        m.Ranks,
-		CoresPerNode: m.CoresPerNode,
-		Policy:       m.Policy,
-		Dropped:      l.Dropped(),
-		Metrics:      m.Metrics,
-		Events:       make([][6]int64, 0, l.Len()),
+		Schema:        DumpSchema,
+		Ranks:         m.Ranks,
+		CoresPerNode:  m.CoresPerNode,
+		Policy:        m.Policy,
+		Dropped:       l.Dropped(),
+		DroppedByRank: l.DroppedByRank(),
+		Metrics:       m.Metrics,
+		Profile:       m.Profile,
+		Events:        make([][6]int64, 0, l.Len()),
 	}
 	if doc.CoresPerNode == 0 && l != nil {
 		doc.CoresPerNode = l.CoresPerNode
@@ -434,10 +460,13 @@ func ReadDump(r io.Reader) (*Log, Meta, error) {
 		})
 	}
 	m := Meta{
-		Ranks:        doc.Ranks,
-		CoresPerNode: doc.CoresPerNode,
-		Policy:       doc.Policy,
-		Metrics:      doc.Metrics,
+		Ranks:         doc.Ranks,
+		CoresPerNode:  doc.CoresPerNode,
+		Policy:        doc.Policy,
+		Metrics:       doc.Metrics,
+		Profile:       doc.Profile,
+		Dropped:       doc.Dropped,
+		DroppedByRank: doc.DroppedByRank,
 	}
 	return l, m, nil
 }

@@ -23,6 +23,7 @@ import (
 	"math/rand"
 
 	"ityr/internal/metrics"
+	"ityr/internal/profile"
 	"ityr/internal/rma"
 	"ityr/internal/sim"
 	"ityr/internal/trace"
@@ -167,21 +168,32 @@ type Sched struct {
 	// virtual-time cost of each steal attempt (nil-safe histograms).
 	StealLatency       *metrics.Histogram
 	FailedStealLatency *metrics.Histogram
+
+	// Profile, when non-nil, receives streaming rollups — task-segment
+	// (busy), steal-attempt and idle-backoff spans — folded into per-rank
+	// accumulators. It works with or without the tracer: task segments are
+	// closed at the same points either way, so profile aggregates match
+	// what a full trace would sum to. Recording only reads the clock;
+	// schedules are bit-identical with it on or off.
+	Profile *profile.Profile
 }
 
 // SetTrace attaches an event log. Call before the first fork-join region;
 // a nil log (the default) disables DAG tracing entirely.
 func (s *Sched) SetTrace(tl *trace.Log) { s.tracer = tl }
 
-// traceSeg closes the thread's currently open execution segment as a
-// KTaskRun span ending at now, and opens the next one. No-op without a
-// tracer.
+// traceSeg closes the thread's currently open execution segment — as a
+// KTaskRun span when tracing, as a busy-time rollup when profiling — and
+// opens the next one. No-op without either sink.
 func (s *Sched) traceSeg(th *thread, rank int, now sim.Time) {
-	if s.tracer == nil {
+	if s.tracer == nil && s.Profile == nil {
 		return
 	}
 	if d := now - th.segStart; d > 0 {
-		s.tracer.RecSpan(th.segStart, d, rank, trace.KTaskRun, th.tid, 0)
+		if s.tracer != nil {
+			s.tracer.RecSpan(th.segStart, d, rank, trace.KTaskRun, th.tid, 0)
+		}
+		s.Profile.Span(rank, profile.SpanTask, th.segStart, d)
 	}
 	th.segStart = now
 }
@@ -189,10 +201,13 @@ func (s *Sched) traceSeg(th *thread, rank int, now sim.Time) {
 // traceEnd records a thread's final segment and its KTaskEnd marker
 // (Arg2 = parent thread ID, 0 for the root).
 func (s *Sched) traceEnd(th *thread, rank int, now sim.Time) {
-	if s.tracer == nil {
+	if s.tracer == nil && s.Profile == nil {
 		return
 	}
 	s.traceSeg(th, rank, now)
+	if s.tracer == nil {
+		return
+	}
 	var ptid int64
 	if th.parent != nil {
 		ptid = th.parent.th.tid
@@ -394,8 +409,16 @@ func (w *Worker) schedLoop() {
 		// This Advance is the hottest line in most runs (every idle worker,
 		// every backoff iteration). It almost always hits the kernel's
 		// zero-handoff fast path: no queued event is due before now+d, so
-		// the clock bumps in place with no heap or channel traffic.
-		w.proc.Advance(d)
+		// the clock bumps in place with no heap or channel traffic. The
+		// profile branch is outside the common path so disabled runs pay
+		// only the nil-check.
+		if s.Profile != nil {
+			t0 := w.proc.Now()
+			w.proc.Advance(d)
+			s.Profile.Span(w.rank.ID(), profile.SpanIdle, t0, w.proc.Now()-t0)
+		} else {
+			w.proc.Advance(d)
+		}
 		if backoff < backoffMax {
 			backoff *= 2
 		}
@@ -449,6 +472,7 @@ func (w *Worker) trySteal() bool {
 		if s.tracer != nil {
 			s.tracer.RecSpan(t0, d, me, trace.KFailedSteal, int64(vID), 0)
 		}
+		s.Profile.Span(me, profile.SpanSteal, t0, d)
 		w.noteStealOutcome(vID, d, false)
 		return false
 	}
@@ -472,6 +496,7 @@ func (w *Worker) trySteal() bool {
 	if s.tracer != nil {
 		s.tracer.RecSpan(t0, d, me, trace.KSteal, int64(vID), e.th.tid)
 	}
+	s.Profile.Span(me, profile.SpanSteal, t0, d)
 	w.noteStealOutcome(vID, d, true)
 	w.resumeHere(e.th, false)
 	return true
@@ -589,9 +614,10 @@ func (tb *TB) Fork(fn func(*TB)) *Thread {
 
 	s.nextTID++
 	child := &thread{worker: w, parent: e, tid: s.nextTID}
-	if s.tracer != nil {
+	if s.tracer != nil || s.Profile != nil {
 		// Close the parent's segment first so its path length is current
-		// at the fork edge, then record the edge itself.
+		// at the fork edge, then record the edge itself (the edge is a
+		// trace-only record; Rec2 on a nil tracer is a no-op).
 		now := tb.th.proc.Now()
 		s.traceSeg(tb.th, w.rank.ID(), now)
 		s.tracer.Rec2(now, w.rank.ID(), trace.KFork, child.tid, tb.th.tid)
