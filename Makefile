@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test shuffle race race-all golden faults bench hostperf docscheck linkcheck perf perfgate perf-baseline
+.PHONY: check fmt vet build test shuffle race race-all golden faults sdc bench hostperf docscheck linkcheck perf perfgate perf-baseline
 
-check: fmt vet build test shuffle race golden faults docscheck linkcheck perfgate
+check: fmt vet build test shuffle race golden faults sdc docscheck linkcheck perfgate
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -48,6 +48,16 @@ golden:
 faults:
 	$(GO) test -count=1 -run 'FaultDeterminismGolden|EmptyPlanMatchesNoPlan|FaultPlansAppsTerminate|FaultBenchSmoke' ./internal/bench
 	$(GO) test -count=1 ./internal/fault
+
+# Silent-data-corruption suite: disabled-path digest inertness, seeded
+# corruption determinism, the negative control (defenses down -> output
+# provably corrupt), zero escapes at full replication, combined
+# corruption+flaky-RMA recovery, the wire checksum, and serial/sharded
+# digest parity with replication armed (the parity case also runs under
+# the race detector to prove the protector state is properly sharded).
+sdc:
+	$(GO) test -count=1 -run 'SDC' ./internal/bench
+	$(GO) test -count=1 -race -run 'SDCShardedParity' ./internal/bench
 
 # Host-side kernel throughput (not part of check: timing-sensitive).
 bench:

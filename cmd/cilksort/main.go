@@ -42,6 +42,7 @@ func main() {
 	traceRing := obs.RingFlag()
 	hostProcs := obs.ProcsFlag()
 	coalesce, prefetch := obs.BatchFlags()
+	sdc, replicate := obs.SDCFlags()
 	flag.Parse()
 
 	pol, err := parsePolicy(*policy)
@@ -60,6 +61,7 @@ func main() {
 		HostProcs:    *hostProcs,
 	}
 	obs.ApplyBatch(&cfg.Pgas, *coalesce, *prefetch)
+	obs.ApplySDC(&cfg, *sdc, *replicate)
 	rt := ityr.NewRuntime(cfg)
 	var sortTime ityr.Time
 	ok := true
@@ -101,10 +103,19 @@ func main() {
 	fmt.Printf("  steals=%d forks=%d cache: fetched %.2f MB, written back %.2f MB\n",
 		rt.Sched().Stats.Steals, rt.Sched().Stats.Forks,
 		float64(rt.Space().Stats.FetchBytes)/1e6, float64(rt.Space().Stats.WriteBackBytes)/1e6)
+	if p := rt.Protector(); p != nil {
+		st := p.Stats
+		fmt.Printf("  sdc            protected=%d replicas=%d detected=%d recovered=%d escaped=%d\n",
+			st.Protected, st.Replicas, st.Detected, st.Recovered, st.Escaped)
+	}
+	exitCode := 0
 	if *verify {
 		fmt.Printf("  verify         %v\n", ok)
 		if !ok {
-			os.Exit(1)
+			// Still write the requested dumps below: a corrupted run (e.g.
+			// the -sdc negative control) is exactly the one whose trace and
+			// metrics are worth inspecting.
+			exitCode = 1
 		}
 	}
 	if *profBreakdown {
@@ -127,4 +138,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	os.Exit(exitCode)
 }

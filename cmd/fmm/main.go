@@ -33,6 +33,7 @@ func main() {
 	traceRing := obs.RingFlag()
 	hostProcs := obs.ProcsFlag()
 	coalesce, prefetch := obs.BatchFlags()
+	sdc, replicate := obs.SDCFlags()
 	flag.Parse()
 
 	var pol ityr.Policy
@@ -73,6 +74,7 @@ func main() {
 		HostProcs: *hostProcs,
 	}
 	obs.ApplyBatch(&cfg.Pgas, *coalesce, *prefetch)
+	obs.ApplySDC(&cfg, *sdc, *replicate)
 	rt := ityr.NewRuntime(cfg)
 	var evalTime ityr.Time
 	var result []fmm.Body
@@ -111,6 +113,11 @@ func main() {
 	fmt.Printf("  steals=%d cache: fetched %.2f MB, written back %.2f MB\n",
 		rt.Sched().Stats.Steals,
 		float64(rt.Space().Stats.FetchBytes)/1e6, float64(rt.Space().Stats.WriteBackBytes)/1e6)
+	if p := rt.Protector(); p != nil {
+		st := p.Stats
+		fmt.Printf("  sdc        protected=%d replicas=%d detected=%d recovered=%d escaped=%d\n",
+			st.Protected, st.Replicas, st.Detected, st.Recovered, st.Escaped)
+	}
 
 	if *verify {
 		ref := fmm.DirectHost(bodies)

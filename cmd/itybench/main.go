@@ -181,12 +181,15 @@ func main() {
 		}
 		bad := 0
 		for _, r := range rep.Runs {
-			if !r.Verified {
+			// OK, not Verified: the sdc-task negative-control rows
+			// (replication off) are REQUIRED to fail verification — the
+			// injected flips must reach the output.
+			if !r.OK {
 				bad++
 			}
 		}
 		if bad > 0 {
-			fmt.Fprintf(os.Stderr, "%d run(s) failed output verification\n", bad)
+			fmt.Fprintf(os.Stderr, "%d run(s) failed the fault-report verdict\n", bad)
 			os.Exit(1)
 		}
 		return

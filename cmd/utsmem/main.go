@@ -25,6 +25,7 @@ func main() {
 	traceRing := obs.RingFlag()
 	hostProcs := obs.ProcsFlag()
 	coalesce, prefetch := obs.BatchFlags()
+	sdc, replicate := obs.SDCFlags()
 	flag.Parse()
 
 	var tree uts.Tree
@@ -62,6 +63,7 @@ func main() {
 		HostProcs: *hostProcs,
 	}
 	obs.ApplyBatch(&cfg.Pgas, *coalesce, *prefetch)
+	obs.ApplySDC(&cfg, *sdc, *replicate)
 	rt := ityr.NewRuntime(cfg)
 	var buildTime, travTime ityr.Time
 	var built, counted int64
@@ -99,12 +101,21 @@ func main() {
 	fmt.Printf("  steals=%d cache: fetched %.2f MB (%.0f%% hit by bytes)\n",
 		rt.Sched().Stats.Steals, float64(rt.Space().Stats.FetchBytes)/1e6,
 		100*float64(rt.Space().Stats.HitBytes)/float64(rt.Space().Stats.HitBytes+rt.Space().Stats.FetchBytes+1))
+	if p := rt.Protector(); p != nil {
+		st := p.Stats
+		fmt.Printf("  sdc        protected=%d replicas=%d detected=%d recovered=%d escaped=%d\n",
+			st.Protected, st.Replicas, st.Detected, st.Recovered, st.Escaped)
+	}
+	exitCode := 0
 	if counted != built {
+		// Still write the requested dumps: a corrupted count (e.g. the
+		// -sdc negative control) is exactly the run worth inspecting.
 		fmt.Fprintf(os.Stderr, "MISMATCH: built %d, traversed %d\n", built, counted)
-		os.Exit(1)
+		exitCode = 1
 	}
 	if err := obs.Write(rt, *traceDump, *metricsFile, *profileFile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	os.Exit(exitCode)
 }

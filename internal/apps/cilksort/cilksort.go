@@ -73,10 +73,16 @@ func log2(n int64) sim.Time {
 
 func cilksort(c *ityr.Ctx, a, b ityr.GSpan[Elem], cutoff int64) {
 	if a.Len < cutoff {
-		v := ityr.Checkout(c, a, ityr.ReadWrite)
-		sortLeaf(v)
-		c.ChargeAs(CatQuicksort, sim.Time(a.Len)*quickPerElemLog*log2(a.Len))
-		ityr.Checkin(c, a, ityr.ReadWrite)
+		// SDC-protected leaf: sorting is replay-stable (re-sorting a
+		// sorted leaf commits the same bytes), so the leaf qualifies for
+		// selective replication.
+		c.Protected(func() uint64 {
+			v := ityr.Checkout(c, a, ityr.ReadWrite)
+			sortLeaf(v)
+			c.ChargeAs(CatQuicksort, sim.Time(a.Len)*quickPerElemLog*log2(a.Len))
+			ityr.Checkin(c, a, ityr.ReadWrite)
+			return 0
+		})
 		return
 	}
 	a12, a34 := a.SplitTwo()
@@ -123,27 +129,32 @@ func cilkmerge(c *ityr.Ctx, s1, s2, d ityr.GSpan[Elem], cutoff int64) {
 	)
 }
 
+// serialMerge is SDC-protected: it overwrites d from read-only sources,
+// so a re-execution commits identical bytes (replay-stable).
 func serialMerge(c *ityr.Ctx, s1, s2, d ityr.GSpan[Elem]) {
-	v1 := ityr.Checkout(c, s1, ityr.Read)
-	v2 := ityr.Checkout(c, s2, ityr.Read)
-	vd := ityr.Checkout(c, d, ityr.Write)
-	i, j, k := 0, 0, 0
-	for i < len(v1) && j < len(v2) {
-		if v1[i] <= v2[j] {
-			vd[k] = v1[i]
-			i++
-		} else {
-			vd[k] = v2[j]
-			j++
+	c.Protected(func() uint64 {
+		v1 := ityr.Checkout(c, s1, ityr.Read)
+		v2 := ityr.Checkout(c, s2, ityr.Read)
+		vd := ityr.Checkout(c, d, ityr.Write)
+		i, j, k := 0, 0, 0
+		for i < len(v1) && j < len(v2) {
+			if v1[i] <= v2[j] {
+				vd[k] = v1[i]
+				i++
+			} else {
+				vd[k] = v2[j]
+				j++
+			}
+			k++
 		}
-		k++
-	}
-	k += copy(vd[k:], v1[i:])
-	copy(vd[k:], v2[j:])
-	c.ChargeAs(CatMerge, sim.Time(d.Len)*mergePerElem)
-	ityr.Checkin(c, s1, ityr.Read)
-	ityr.Checkin(c, s2, ityr.Read)
-	ityr.Checkin(c, d, ityr.Write)
+		k += copy(vd[k:], v1[i:])
+		copy(vd[k:], v2[j:])
+		c.ChargeAs(CatMerge, sim.Time(d.Len)*mergePerElem)
+		ityr.Checkin(c, s1, ityr.Read)
+		ityr.Checkin(c, s2, ityr.Read)
+		ityr.Checkin(c, d, ityr.Write)
+		return 0
+	})
 }
 
 // sortLeaf sorts a sub-cutoff leaf on the host. The simulated cost charged
@@ -214,13 +225,18 @@ func getScratch(n int) []Elem {
 
 func putScratch(s []Elem) { scratchPool.Put(s[:0]) }
 
+// copySpan is SDC-protected for the same reason as serialMerge: a pure
+// overwrite from a read-only source.
 func copySpan(c *ityr.Ctx, s, d ityr.GSpan[Elem]) {
-	vs := ityr.Checkout(c, s, ityr.Read)
-	vd := ityr.Checkout(c, d, ityr.Write)
-	copy(vd, vs)
-	c.ChargeAs(CatMerge, sim.Time(d.Len)*mergePerElem/2)
-	ityr.Checkin(c, s, ityr.Read)
-	ityr.Checkin(c, d, ityr.Write)
+	c.Protected(func() uint64 {
+		vs := ityr.Checkout(c, s, ityr.Read)
+		vd := ityr.Checkout(c, d, ityr.Write)
+		copy(vd, vs)
+		c.ChargeAs(CatMerge, sim.Time(d.Len)*mergePerElem/2)
+		ityr.Checkin(c, s, ityr.Read)
+		ityr.Checkin(c, d, ityr.Write)
+		return 0
+	})
 }
 
 // getElem loads one element from global memory, attributed to "Get".

@@ -165,26 +165,42 @@ func (pr *Problem) upward(c *ityr.Ctx, ci int32) {
 	h := pr.readHdr(c, ci)
 	var m Expansion
 	if h.Child < 0 {
-		bspan := pr.Bodies.Slice(int64(h.Body), int64(h.Body+h.NBody))
-		v := ityr.Checkout(c, bspan, ityr.Read)
-		P2M(v, h.CX, h.CY, h.CZ, &m)
-		c.ChargeAs(CatKernel, sim.Time(h.NBody)*costP2MBody)
-		ityr.Checkin(c, bspan, ityr.Read)
-		pr.writeM(c, ci, &m)
+		// SDC-protected P2M leaf: reads bodies, overwrites this cell's M.
+		// Replay-stable — a re-execution from the committed state recomputes
+		// the same expansion from the same read-only inputs. (The downward
+		// pass's accumulate tasks, addL and L2P, are += read-modify-write
+		// and would NOT commit identical bytes on re-execution, so they stay
+		// outside the protection domain.)
+		c.Protected(func() uint64 {
+			m = Expansion{} // P2M accumulates; reset for re-execution
+			bspan := pr.Bodies.Slice(int64(h.Body), int64(h.Body+h.NBody))
+			v := ityr.Checkout(c, bspan, ityr.Read)
+			P2M(v, h.CX, h.CY, h.CZ, &m)
+			c.ChargeAs(CatKernel, sim.Time(h.NBody)*costP2MBody)
+			ityr.Checkin(c, bspan, ityr.Read)
+			pr.writeM(c, ci, &m)
+			return 0
+		})
 		return
 	}
 	// Children first (parallel above the spawn threshold).
 	pr.forChildren(c, &h, func(c *ityr.Ctx, child int32) {
 		pr.upward(c, child)
 	})
-	for k := int32(0); k < h.NChild; k++ {
-		child := h.Child + k
-		ch := pr.readHdr(c, child)
-		cm := pr.readM(c, child)
-		M2M(&cm, ch.CX, ch.CY, ch.CZ, h.CX, h.CY, h.CZ, &m)
-		c.ChargeAs(CatKernel, costM2M)
-	}
-	pr.writeM(c, ci, &m)
+	// SDC-protected M2M fold: reads the children's committed expansions,
+	// overwrites this cell's M — replay-stable like the P2M leaf.
+	c.Protected(func() uint64 {
+		m = Expansion{} // M2M accumulates; reset for re-execution
+		for k := int32(0); k < h.NChild; k++ {
+			child := h.Child + k
+			ch := pr.readHdr(c, child)
+			cm := pr.readM(c, child)
+			M2M(&cm, ch.CX, ch.CY, ch.CZ, h.CX, h.CY, h.CZ, &m)
+			c.ChargeAs(CatKernel, costM2M)
+		}
+		pr.writeM(c, ci, &m)
+		return 0
+	})
 }
 
 // forChildren runs fn over the children of h, in parallel when the cell is

@@ -155,7 +155,11 @@ func Traverse(c *ityr.Ctx, p ityr.GPtr[Node]) int64 {
 	c.Charge(costVisitNode)
 	n := ityr.GetVal(c, p)
 	if n.NChild == 0 {
-		return 1
+		// SDC-protected leaf: the visit commits no writes, so the
+		// replication digest covers only the (pure, replay-stable) return
+		// value. A bit flip in the count of any leaf shifts the tree total,
+		// so every task-result corruption here is output-visible.
+		return int64(c.Protected(func() uint64 { return 1 }))
 	}
 	kids := ityr.Checkout(c, n.Kids, ityr.Read)
 	local := make([]ityr.GPtr[Node], len(kids))

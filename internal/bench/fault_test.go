@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -64,7 +65,7 @@ func TestFaultPlansAppsTerminate(t *testing.T) {
 	for _, app := range faultApps {
 		for i := range plans {
 			t.Run(app.Name+"/"+plans[i].Name, func(t *testing.T) {
-				_, rt, ok := app.Run(Smoke, &plans[i])
+				_, rt, ok := app.Run(Smoke, &plans[i], 0)
 				if !ok {
 					t.Errorf("%s under %s: output verification failed", app.Name, plans[i].Name)
 				}
@@ -82,19 +83,38 @@ func TestFaultPlansAppsTerminate(t *testing.T) {
 // slow the run down versus clean.
 func TestFaultBenchSmoke(t *testing.T) {
 	rep := FaultBench(io.Discard, Smoke)
-	if rep.Schema != "itoyori-faults/v1" {
+	if rep.Schema != "itoyori-faults/v2" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
-	wantRuns := len(faultApps) * (1 + len(fault.CannedPlans(11)))
+	wantRuns := len(faultApps) * (1 + len(fault.CannedPlans(11)) + len(SdcSweepFractions))
 	if len(rep.Runs) != wantRuns {
 		t.Fatalf("got %d runs, want %d", len(rep.Runs), wantRuns)
 	}
 	byKey := map[string]FaultRun{}
 	for _, r := range rep.Runs {
-		if !r.Verified {
-			t.Errorf("%s under %s: not verified", r.App, r.Plan)
+		if !r.OK {
+			t.Errorf("%s under %s (replicate %.2f): verdict not OK (verified=%v escaped=%d)",
+				r.App, r.Plan, r.Replicate, r.Verified, r.SdcEscaped)
 		}
-		byKey[r.App+"/"+r.Plan] = r
+		key := r.App + "/" + r.Plan
+		if r.Plan == "sdc-task" {
+			key = fmt.Sprintf("%s/%s/%.2f", r.App, r.Plan, r.Replicate)
+		}
+		byKey[key] = r
+	}
+	// The sweep's negative control must demonstrate real corruption, and
+	// the protected rows must show the machinery engaging.
+	for _, app := range faultApps {
+		ctl := byKey[app.Name+"/sdc-task/0.00"]
+		if ctl.SdcInjected == 0 || ctl.SdcEscaped == 0 || ctl.Verified {
+			t.Errorf("%s sdc negative control: injected=%d escaped=%d verified=%v; want flips, escapes, and failed verification",
+				app.Name, ctl.SdcInjected, ctl.SdcEscaped, ctl.Verified)
+		}
+		prot := byKey[app.Name+"/sdc-task/0.50"]
+		if prot.ReplicaTasks == 0 || prot.SdcDetected == 0 {
+			t.Errorf("%s sdc at 50%% replication: replicas=%d detected=%d; want both > 0",
+				app.Name, prot.ReplicaTasks, prot.SdcDetected)
+		}
 	}
 	flaky := byKey["cilksort/flaky-rma"]
 	if flaky.InjectedFailures == 0 || flaky.Retries == 0 {

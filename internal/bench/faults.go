@@ -20,14 +20,24 @@ import (
 	"ityr/internal/sim"
 )
 
-// FaultRun is one row of the report: one application run under one plan.
+// FaultRun is one row of the report: one application run under one plan
+// (and, for the SDC sweep rows, one replication fraction).
 type FaultRun struct {
-	Plan     string  `json:"plan"` // "clean" or the canned plan name
-	App      string  `json:"app"`
-	TimeNs   int64   `json:"time_ns"`
-	CleanNs  int64   `json:"clean_time_ns"` // same app without a plan
-	Slowdown float64 `json:"slowdown"`      // TimeNs / CleanNs
-	Verified bool    `json:"verified"`      // output checked, not just "terminated"
+	Plan      string  `json:"plan"` // "clean" or the canned plan name
+	App       string  `json:"app"`
+	Replicate float64 `json:"replicate"` // task-replication fraction (0 = off)
+	TimeNs    int64   `json:"time_ns"`
+	CleanNs   int64   `json:"clean_time_ns"` // same app without a plan
+	Slowdown  float64 `json:"slowdown"`      // TimeNs / CleanNs
+	Verified  bool    `json:"verified"`      // output checked, not just "terminated"
+
+	// OK is the row's verdict: a run with undetected corruption escapes
+	// MUST fail verification (the escapes are real silent errors — a
+	// verified run despite escapes would mean the injector corrupted
+	// nothing observable), and a run without escapes must verify. The
+	// negative-control rows (corruption armed, replication off) are
+	// therefore OK precisely because they are unverified.
+	OK bool `json:"ok"`
 
 	// Resilience activity observed during the run.
 	InjectedFailures uint64 `json:"injected_failures"`
@@ -38,10 +48,18 @@ type FaultRun struct {
 	StealTimeouts    uint64 `json:"steal_timeouts"`
 	Blacklists       uint64 `json:"blacklists"`
 	BlacklistSkips   uint64 `json:"blacklist_skips"`
+
+	// Silent-data-corruption activity (itoyori-faults/v2).
+	SdcInjected  uint64 `json:"sdc_injected"`  // bit flips injected (wire + task)
+	SdcDetected  uint64 `json:"sdc_detected"`  // flips caught (digest + checksum)
+	SdcRecovered uint64 `json:"sdc_recovered"` // protocols converged after strikes
+	SdcEscaped   uint64 `json:"sdc_escaped"`   // flips that reached the output
+	ReplicaTasks uint64 `json:"replica_tasks"` // redundant executions performed
 }
 
-// FaultReport is the "itoyori-faults/v1" document written by
-// `itybench -faults`.
+// FaultReport is the "itoyori-faults/v2" document written by
+// `itybench -faults`. v2 adds the silent-data-corruption sweep rows and
+// the per-row SDC counters + OK verdict.
 type FaultReport struct {
 	Schema       string     `json:"schema"`
 	Scale        string     `json:"scale"`
@@ -62,15 +80,19 @@ func (rep FaultReport) WriteJSON(w io.Writer) error {
 // Fig. 7 runs so clean times are comparable.
 const faultSeed = 11
 
-// faultConfig is runtimeConfig plus an armed plan. Victim blacklisting is
-// enabled whenever a plan is armed — it is the scheduler-side half of the
+// faultConfig is runtimeConfig plus an armed plan and, when replicate is
+// positive, selective task replication. Victim blacklisting is enabled
+// whenever a plan is armed — it is the scheduler-side half of the
 // resilience story and off by default only to preserve the fault-free
 // golden digest.
-func faultConfig(sc Scale, plan *fault.Plan) ityr.Config {
+func faultConfig(sc Scale, plan *fault.Plan, replicate float64) ityr.Config {
 	cfg := runtimeConfig(sc.FixedRanks, sc.CoresPerNode, ityr.WriteBackLazy, faultSeed)
 	if plan != nil {
 		cfg.Faults = plan
 		cfg.Sched.VictimBlacklist = true
+	}
+	if replicate > 0 {
+		cfg.SDC = &ityr.SDCConfig{Replicate: replicate}
 	}
 	return cfg
 }
@@ -79,8 +101,8 @@ func faultConfig(sc Scale, plan *fault.Plan) ityr.Config {
 // (nil = clean) and verifies the result: the array must be sorted and its
 // checksum conserved. Returns the sort time, the runtime for counter
 // access, and the verification verdict.
-func FaultCilksortRun(sc Scale, plan *fault.Plan) (sim.Time, *ityr.Runtime, bool) {
-	rt := ityr.NewRuntime(faultConfig(sc, plan))
+func FaultCilksortRun(sc Scale, plan *fault.Plan, replicate float64) (sim.Time, *ityr.Runtime, bool) {
+	rt := ityr.NewRuntime(faultConfig(sc, plan, replicate))
 	n, cutoff := sc.CilksortN, sc.SortCutoff
 	var elapsed sim.Time
 	var before, after int64
@@ -116,8 +138,8 @@ func FaultCilksortRun(sc Scale, plan *fault.Plan) (sim.Time, *ityr.Runtime, bool
 
 // FaultUTSRun traverses the scale's small tree under plan and verifies
 // the traversal count against the host-side count.
-func FaultUTSRun(sc Scale, plan *fault.Plan) (sim.Time, *ityr.Runtime, bool) {
-	rt := ityr.NewRuntime(faultConfig(sc, plan))
+func FaultUTSRun(sc Scale, plan *fault.Plan, replicate float64) (sim.Time, *ityr.Runtime, bool) {
+	rt := ityr.NewRuntime(faultConfig(sc, plan, replicate))
 	tree := sc.UTSSmall
 	var elapsed sim.Time
 	var nodes, want int64
@@ -144,9 +166,9 @@ func FaultUTSRun(sc Scale, plan *fault.Plan) (sim.Time, *ityr.Runtime, bool) {
 // verifies the simulated potentials bit-exactly against the host
 // evaluation of the same tree — fault injection perturbs timing, never
 // arithmetic, so exact equality must hold.
-func FaultFMMRun(sc Scale, plan *fault.Plan) (sim.Time, *ityr.Runtime, bool) {
+func FaultFMMRun(sc Scale, plan *fault.Plan, replicate float64) (sim.Time, *ityr.Runtime, bool) {
 	p := fmm.Params{N: sc.FMMSmallN, Theta: sc.FMMTheta, NCrit: 32, NSpawn: sc.FMMNSpawn, Seed: 21}
-	rt := ityr.NewRuntime(faultConfig(sc, plan))
+	rt := ityr.NewRuntime(faultConfig(sc, plan, replicate))
 	var elapsed sim.Time
 	var got []fmm.Body
 	err := rt.Run(func(s *ityr.SPMD) {
@@ -188,7 +210,7 @@ func FaultFMMRun(sc Scale, plan *fault.Plan) (sim.Time, *ityr.Runtime, bool) {
 // faultApps maps app names to their verified runners.
 var faultApps = []struct {
 	Name string
-	Run  func(Scale, *fault.Plan) (sim.Time, *ityr.Runtime, bool)
+	Run  func(Scale, *fault.Plan, float64) (sim.Time, *ityr.Runtime, bool)
 }{
 	{"cilksort", FaultCilksortRun},
 	{"utsmem", FaultUTSRun},
@@ -196,9 +218,9 @@ var faultApps = []struct {
 }
 
 // faultRow assembles one report row from a finished run.
-func faultRow(plan, app string, t, clean sim.Time, rt *ityr.Runtime, ok bool) FaultRun {
+func faultRow(plan, app string, replicate float64, t, clean sim.Time, rt *ityr.Runtime, ok bool) FaultRun {
 	run := FaultRun{
-		Plan: plan, App: app,
+		Plan: plan, App: app, Replicate: replicate,
 		TimeNs: int64(t), CleanNs: int64(clean), Verified: ok,
 	}
 	if clean > 0 {
@@ -214,33 +236,68 @@ func faultRow(plan, app string, t, clean sim.Time, rt *ityr.Runtime, ok bool) Fa
 	run.Blacklists = ss.Blacklists
 	run.BlacklistSkips = ss.BlacklistSkips
 	if inj := rt.Injector(); inj != nil {
-		run.InjectedFailures = inj.Stats().Injected
+		fs := inj.Stats()
+		run.InjectedFailures = fs.Injected
+		run.SdcInjected = fs.WireFlips + fs.TaskFlips
+	}
+	ws := rt.Comm().SdcWire()
+	run.SdcDetected = ws.Detected
+	run.SdcRecovered = ws.Retrans
+	run.SdcEscaped = ws.Escapes
+	if p := rt.Protector(); p != nil {
+		st := p.Stats
+		run.SdcDetected += st.Detected
+		run.SdcRecovered += st.Recovered
+		run.SdcEscaped += st.Escaped
+		run.ReplicaTasks = st.Replicas
+	}
+	// The verdict: escaped corruptions must be output-visible, everything
+	// else must verify.
+	if run.SdcEscaped > 0 {
+		run.OK = !run.Verified
+	} else {
+		run.OK = run.Verified
 	}
 	return run
 }
 
-// FaultBench runs every app clean and then under each canned fault plan,
-// printing a table to w and returning the report. Every run's output is
-// verified; an unverified run is a harness bug, surfaced in the table
-// and the report rather than silently dropped.
+// SdcSweepFractions is the replication-fraction axis of the
+// overhead-vs-coverage sweep: 0 is the negative control (corruption armed,
+// defenses off — the output must come out wrong), the rest trade replica
+// overhead against escape probability.
+var SdcSweepFractions = []float64{0, 0.05, 0.10, 0.25, 0.50}
+
+// FaultBench runs every app clean, under each canned fault plan, and then
+// through the silent-data-corruption sweep (the sdc-task plan crossed with
+// every SdcSweepFractions replication fraction), printing a table to w and
+// returning the report. Every row carries the OK verdict; a !OK row is a
+// harness bug, surfaced in the table and the report rather than silently
+// dropped.
 func FaultBench(w io.Writer, sc Scale) FaultReport {
 	rep := FaultReport{
-		Schema: "itoyori-faults/v1", Scale: sc.Name, Seed: faultSeed,
+		Schema: "itoyori-faults/v2", Scale: sc.Name, Seed: faultSeed,
 		Ranks: sc.FixedRanks, CoresPerNode: sc.CoresPerNode,
 	}
 	plans := fault.CannedPlans(faultSeed)
+	sdcPlan := fault.PlanSDC(faultSeed)
 	fmt.Fprintf(w, "\n== Fault plans: cilksort/utsmem/fmm on %d ranks (%d/node), seed %d ==\n",
 		sc.FixedRanks, sc.CoresPerNode, faultSeed)
-	fmt.Fprintf(w, "%-10s %-16s %12s %9s %9s %8s %8s %6s  %s\n",
-		"app", "plan", "time (ms)", "slowdown", "injected", "retries", "stall ms", "blist", "verified")
+	fmt.Fprintf(w, "%-10s %-16s %5s %12s %9s %9s %8s %7s %7s %7s  %s\n",
+		"app", "plan", "repl", "time (ms)", "slowdown", "injected", "flips", "detect", "escape", "replica", "verdict")
 	for _, app := range faultApps {
-		cleanT, cleanRT, cleanOK := app.Run(sc, nil)
-		row := faultRow("clean", app.Name, cleanT, cleanT, cleanRT, cleanOK)
+		cleanT, cleanRT, cleanOK := app.Run(sc, nil, 0)
+		row := faultRow("clean", app.Name, 0, cleanT, cleanT, cleanRT, cleanOK)
 		rep.Runs = append(rep.Runs, row)
 		printFaultRow(w, row)
 		for i := range plans {
-			t, rt, ok := app.Run(sc, &plans[i])
-			row := faultRow(plans[i].Name, app.Name, t, cleanT, rt, ok)
+			t, rt, ok := app.Run(sc, &plans[i], 0)
+			row := faultRow(plans[i].Name, app.Name, 0, t, cleanT, rt, ok)
+			rep.Runs = append(rep.Runs, row)
+			printFaultRow(w, row)
+		}
+		for _, frac := range SdcSweepFractions {
+			t, rt, ok := app.Run(sc, &sdcPlan, frac)
+			row := faultRow(sdcPlan.Name, app.Name, frac, t, cleanT, rt, ok)
 			rep.Runs = append(rep.Runs, row)
 			printFaultRow(w, row)
 		}
@@ -250,11 +307,14 @@ func FaultBench(w io.Writer, sc Scale) FaultReport {
 
 func printFaultRow(w io.Writer, r FaultRun) {
 	verdict := "ok"
-	if !r.Verified {
+	switch {
+	case !r.OK:
 		verdict = "FAILED"
+	case !r.Verified:
+		verdict = "corrupt" // expected: escapes with defenses down
 	}
-	fmt.Fprintf(w, "%-10s %-16s %12.3f %8.2fx %9d %8d %8.3f %6d  %s\n",
-		r.App, r.Plan, float64(r.TimeNs)/1e6, r.Slowdown,
-		r.InjectedFailures, r.Retries, float64(r.RetryStallNs)/1e6,
-		r.Blacklists, verdict)
+	fmt.Fprintf(w, "%-10s %-16s %5.2f %12.3f %8.2fx %9d %7d %7d %7d %7d  %s\n",
+		r.App, r.Plan, r.Replicate, float64(r.TimeNs)/1e6, r.Slowdown,
+		r.InjectedFailures, r.SdcInjected, r.SdcDetected, r.SdcEscaped,
+		r.ReplicaTasks, verdict)
 }

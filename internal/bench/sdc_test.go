@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"testing"
+
+	"ityr"
+	"ityr/internal/fault"
+)
+
+// TestSDCDisabledDigestInert pins the zero-overhead-when-off guarantee at
+// the observable level, from both directions: a plan whose corruption
+// config is the zero value must not move a single virtual timestamp or
+// event relative to no plan at all, and arming the defenses with
+// Replicate=0 (protector present, selection stream never consumed) must be
+// equally invisible.
+func TestSDCDisabledDigestInert(t *testing.T) {
+	base := runtimeConfig(Smoke.FixedRanks, Smoke.CoresPerNode, ityr.WriteBackLazy, 11)
+	none := configDigest(t, base, Smoke.CilksortN, Smoke.Cutoffs[0])
+
+	cfg := base
+	cfg.Faults = &fault.Plan{Name: "empty-corrupt", Seed: 11, Corrupt: fault.Corruption{}}
+	emptyCorrupt := configDigest(t, cfg, Smoke.CilksortN, Smoke.Cutoffs[0])
+	if none != emptyCorrupt {
+		t.Errorf("zero-valued corruption plan perturbed the run:\n  no plan: %s\n  empty:   %s",
+			none, emptyCorrupt)
+	}
+
+	cfg = base
+	cfg.SDC = &ityr.SDCConfig{Replicate: 0}
+	repOff := configDigest(t, cfg, Smoke.CilksortN, Smoke.Cutoffs[0])
+	if none != repOff {
+		t.Errorf("replication-off protector perturbed the run:\n  no sdc:      %s\n  replicate=0: %s",
+			none, repOff)
+	}
+}
+
+// TestSDCCorruptionDeterministic pins that a corruption plan plus
+// replication replays bit-identically: same seed, same flips, same
+// detections, same replica traffic, same final clock.
+func TestSDCCorruptionDeterministic(t *testing.T) {
+	run := func() string {
+		cfg := runtimeConfig(Smoke.FixedRanks, Smoke.CoresPerNode, ityr.WriteBackLazy, 11)
+		plan := fault.PlanSDC(11)
+		cfg.Faults = &plan
+		cfg.Sched.VictimBlacklist = true
+		cfg.SDC = &ityr.SDCConfig{Replicate: 0.5}
+		return configDigest(t, cfg, Smoke.CilksortN, Smoke.Cutoffs[0])
+	}
+	a, b := run(), run()
+	t.Logf("sdc-task+replicate=0.5 %s", a)
+	if a != b {
+		t.Errorf("run-to-run digest mismatch:\n  first:  %s\n  second: %s", a, b)
+	}
+}
+
+// TestSDCNegativeControl pins the sharp edge of the injection model: with
+// corruption armed and the defenses down, every app must come out of the
+// run with real escaped corruptions AND a failed output verification —
+// otherwise the injector is flipping bits nothing can observe and the
+// detection numbers elsewhere are meaningless.
+func TestSDCNegativeControl(t *testing.T) {
+	plan := fault.PlanSDC(11)
+	for _, app := range faultApps {
+		t.Run(app.Name, func(t *testing.T) {
+			_, rt, verified := app.Run(Smoke, &plan, 0)
+			if verified {
+				t.Errorf("%s verified despite unprotected corruption", app.Name)
+			}
+			fs := rt.Injector().Stats()
+			if fs.TaskFlips == 0 {
+				t.Fatalf("plan injected no task flips")
+			}
+			p := rt.Protector()
+			if p == nil {
+				t.Fatalf("no protector for escape accounting")
+			}
+			if p.Stats.Escaped == 0 {
+				t.Errorf("injected %d flips but recorded no escapes", fs.TaskFlips)
+			}
+			if p.Stats.Escaped != fs.TaskFlips {
+				t.Errorf("escaped %d != injected %d: with replication off every flip must escape",
+					p.Stats.Escaped, fs.TaskFlips)
+			}
+		})
+	}
+}
+
+// TestSDCFullReplicationDetectsAll pins the acceptance criterion: at
+// replication fraction 1.0 every injected task-result corruption is
+// detected (zero escapes), recovery succeeds, and every app verifies its
+// output.
+func TestSDCFullReplicationDetectsAll(t *testing.T) {
+	plan := fault.PlanSDC(11)
+	for _, app := range faultApps {
+		t.Run(app.Name, func(t *testing.T) {
+			_, rt, verified := app.Run(Smoke, &plan, 1.0)
+			if !verified {
+				t.Errorf("%s failed verification with full replication", app.Name)
+			}
+			fs := rt.Injector().Stats()
+			st := rt.Protector().Stats
+			if fs.TaskFlips == 0 {
+				t.Fatalf("plan injected no task flips")
+			}
+			if st.Escaped != 0 {
+				t.Errorf("%d corruption(s) escaped full replication", st.Escaped)
+			}
+			if st.Detected == 0 || st.Detected < fs.TaskFlips {
+				t.Errorf("detected %d < injected %d", st.Detected, fs.TaskFlips)
+			}
+			if st.Recovered == 0 {
+				t.Errorf("no protocols recorded as recovered")
+			}
+		})
+	}
+}
+
+// TestSDCCombinedFlakyRecovery runs cilksort under the storm plan — 50%
+// task corruption stacked on the flaky-RMA failure plan — with full
+// replication: the replication protocol and the RMA retry machinery must
+// compose, every corruption must be caught exactly once per strike, and
+// the output must still verify.
+func TestSDCCombinedFlakyRecovery(t *testing.T) {
+	plan := fault.PlanSDCStorm(11)
+	_, rt, verified := FaultCilksortRun(Smoke, &plan, 1.0)
+	if !verified {
+		t.Errorf("cilksort failed verification under sdc-storm with full replication")
+	}
+	st := rt.Protector().Stats
+	cs := rt.Comm().Stats()
+	if rt.Injector().Stats().Injected == 0 || cs.Retries == 0 {
+		t.Errorf("storm plan did not engage the RMA failure machinery (injected=%d retries=%d)",
+			rt.Injector().Stats().Injected, cs.Retries)
+	}
+	if st.Detected == 0 || st.Recovered == 0 {
+		t.Errorf("storm plan detected=%d recovered=%d; want both > 0", st.Detected, st.Recovered)
+	}
+	if st.Escaped != 0 {
+		t.Errorf("%d corruption(s) escaped full replication", st.Escaped)
+	}
+}
+
+// TestSDCShardedParity pins that replication without a fault plan keeps
+// the sharded host engine digest-identical to the serial engine: the
+// protector's per-rank streams are engine-schedule-independent, so arming
+// heavy replication must not open a serial-vs-parallel divergence. (With a
+// corruption plan armed the runtime pins shards=1 itself, so the
+// fault-free case is exactly the one that must hold.) Run under -race this
+// also proves the protector state is properly sharded.
+func TestSDCShardedParity(t *testing.T) {
+	digest := func(procs int) string {
+		cfg := runtimeConfig(Smoke.FixedRanks, Smoke.CoresPerNode, ityr.WriteBackLazy, 11)
+		cfg.HostProcs = procs
+		cfg.SDC = &ityr.SDCConfig{Replicate: 0.5}
+		return configDigest(t, cfg, Smoke.CilksortN, Smoke.Cutoffs[0])
+	}
+	serial := digest(0)
+	for _, procs := range []int{2, 4} {
+		if got := digest(procs); got != serial {
+			t.Errorf("procs=%d digest diverged with replication armed:\n  serial: %s\n  procs:  %s",
+				procs, serial, got)
+		}
+	}
+}
+
+// TestSDCWireCRC pins the wire-corruption side: under the sdc-wire plan
+// the payload checksum (armed with the defenses) must catch and retransmit
+// every in-flight flip so the run verifies, while the same plan with the
+// defenses down must land corrupt bytes in the output.
+func TestSDCWireCRC(t *testing.T) {
+	plan := fault.PlanSDCWire(11)
+	// The smoke-scale run issues only ~90 bulk transfers (many rank-local
+	// and exempt), so the canned 2% rate can draw zero flips; crank the
+	// probability to make the hooks' engagement certain.
+	plan.Corrupt.WireProb = 0.25
+
+	_, rt, verified := FaultCilksortRun(Smoke, &plan, 0.0001) // arms cfg.SDC (and the checksum) with negligible replication
+	ws := rt.Comm().SdcWire()
+	if ws.Flips == 0 {
+		t.Fatalf("wire plan injected no flips")
+	}
+	if !verified {
+		t.Errorf("cilksort failed verification with the wire checksum armed")
+	}
+	if ws.Detected != ws.Flips || ws.Escapes != 0 {
+		t.Errorf("wire checksum: flips=%d detected=%d escapes=%d; want all detected",
+			ws.Flips, ws.Detected, ws.Escapes)
+	}
+	if ws.Retrans == 0 {
+		t.Errorf("wire checksum detected flips but recorded no retransmissions")
+	}
+
+	_, rt, verified = FaultCilksortRun(Smoke, &plan, 0) // defenses down
+	ws = rt.Comm().SdcWire()
+	if ws.Flips == 0 || ws.Escapes != ws.Flips {
+		t.Errorf("unprotected wire: flips=%d escapes=%d; want every flip to escape", ws.Flips, ws.Escapes)
+	}
+	if verified {
+		t.Errorf("cilksort verified despite unprotected wire corruption")
+	}
+}

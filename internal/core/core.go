@@ -70,11 +70,21 @@ type Config struct {
 	HostProcs int
 	// Faults, when non-nil, arms the deterministic fault-injection plan:
 	// link-degradation windows in the network model, transient RMA
-	// failures with retry/backoff, and straggler windows scheduled as
-	// engine callbacks. Runs with the same plan (same seed) are
-	// bit-identical; a nil plan leaves every hot path at a single
-	// nil-check.
+	// failures with retry/backoff, straggler windows scheduled as engine
+	// callbacks, and silent-data-corruption streams. Runs with the same
+	// plan (same seed) are bit-identical; a nil plan leaves every hot
+	// path at a single nil-check.
 	Faults *fault.Plan
+	// SDC, when non-nil, arms the silent-data-corruption defenses:
+	// selective task replication with digest compare on Protected
+	// segments (SDC.Replicate of them re-execute on a replica rank) and
+	// the RMA layer's end-to-end payload checksum (corrupted bulk
+	// transfers retransmit instead of landing silently). Orthogonal to
+	// Faults: defenses without a corruption plan measure pure overhead; a
+	// corruption plan without defenses is the negative control whose
+	// flips reach program output. Nil keeps every hot path at a
+	// nil-check, adding zero simulated-time events (digest-pinned).
+	SDC *uth.SDCConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +116,7 @@ type Runtime struct {
 	trace   *trace.Log
 	metrics *metrics.Registry
 	inj     *fault.Injector
+	prot    *uth.Protector
 }
 
 // NewRuntime builds a runtime from cfg.
@@ -177,6 +188,26 @@ func NewRuntime(cfg Config) *Runtime {
 	}
 	sched.StealLatency = reg.Histogram("uth_steal_latency_ns", trace.StealLatencyBounds)
 	sched.FailedStealLatency = reg.Histogram("uth_failed_steal_latency_ns", trace.StealLatencyBounds)
+	// The SDC protector exists whenever defenses are configured OR a plan
+	// can corrupt task results: the latter case (defenses off) still needs
+	// the protector's escape accounting for the negative control.
+	var protector *uth.Protector
+	if cfg.SDC != nil || (inj != nil && inj.TaskArmed()) {
+		var sc uth.SDCConfig
+		if cfg.SDC != nil {
+			sc = *cfg.SDC
+		}
+		if sc.Seed == 0 {
+			// Decorrelate selection from the scheduler's victim streams.
+			sc.Seed = cfg.Seed + 1
+		}
+		protector = uth.NewProtector(sched, sc)
+		if cfg.SDC != nil {
+			// Defenses armed: the wire side gets the end-to-end payload
+			// checksum with the same replay bound as task replication.
+			comm.SetSDCVerify(protector.Config().MaxReplays)
+		}
+	}
 	if cfg.Overlap {
 		space.CommWait = func(l *pgas.Local) {
 			until := l.Rank().PendingTime()
@@ -186,11 +217,15 @@ func NewRuntime(cfg Config) *Runtime {
 		}
 	}
 	return &Runtime{cfg: cfg, eng: eng, comm: comm, space: space, sched: sched,
-		prof: pr, stream: stream, trace: tl, metrics: reg, inj: inj}
+		prof: pr, stream: stream, trace: tl, metrics: reg, inj: inj, prot: protector}
 }
 
 // Injector returns the armed fault injector (nil unless Config.Faults).
 func (rt *Runtime) Injector() *fault.Injector { return rt.inj }
+
+// Protector returns the SDC task-replication protector (nil unless
+// Config.SDC or a task-corrupting fault plan is armed).
+func (rt *Runtime) Protector() *uth.Protector { return rt.prot }
 
 // Trace returns the event log (nil unless Config.Trace was set).
 func (rt *Runtime) Trace() *trace.Log { return rt.trace }
@@ -293,6 +328,39 @@ func (rt *Runtime) MetricsSnapshot() metrics.Snapshot {
 		reg.Counter("fault_budget_exhausted_ranks").Set(fs.BudgetExhausted)
 		for i, v := range rt.comm.RetriesByRank() {
 			reg.Counter(fmt.Sprintf("rma_retries_rank_%02d", i)).Set(v)
+		}
+	}
+
+	// SDC observability: surfaced only when the protector exists (defenses
+	// configured or a task-corrupting plan armed), preserving the key set
+	// of every earlier snapshot schema. sdc_detected/sdc_recovered/
+	// sdc_escaped combine the task (replication) and wire (checksum)
+	// sides; the per-rank injected-vs-detected pairs feed the itytrace
+	// resilience table.
+	if rt.prot != nil {
+		ts := rt.prot.Stats
+		ws := rt.comm.SdcWire()
+		reg.Counter("sdc_protected_tasks").Set(ts.Protected)
+		reg.Counter("replica_tasks").Set(ts.Replicas)
+		reg.Counter("sdc_detected").Set(ts.Detected + ws.Detected)
+		reg.Counter("sdc_recovered").Set(ts.Recovered + ws.Retrans)
+		reg.Counter("sdc_escaped").Set(ts.Escaped + ws.Escapes)
+		reg.Counter("sdc_wire_flips").Set(ws.Flips)
+		reg.Counter("sdc_wire_retrans").Set(ws.Retrans)
+		if rt.inj != nil {
+			fs := rt.inj.Stats()
+			reg.Counter("sdc_injected_flips").Set(fs.WireFlips + fs.TaskFlips)
+			wf := rt.inj.WireFlipsByRank()
+			tf := rt.inj.TaskFlipsByRank()
+			det := rt.prot.DetectedByRank()
+			wdet := rt.comm.SdcWireDetectedByRank()
+			esc := rt.prot.EscapedByRank()
+			wesc := rt.comm.SdcWireEscapesByRank()
+			for i := range wf {
+				reg.Counter(fmt.Sprintf("sdc_injected_rank_%02d", i)).Set(wf[i] + tf[i])
+				reg.Counter(fmt.Sprintf("sdc_detected_rank_%02d", i)).Set(det[i] + wdet[i])
+				reg.Counter(fmt.Sprintf("sdc_escaped_rank_%02d", i)).Set(esc[i] + wesc[i])
+			}
 		}
 	}
 
@@ -501,6 +569,69 @@ func (c *Ctx) ChargeAs(cat string, d sim.Time) {
 
 // Yield lets long-running leaf code service lazy-release polls.
 func (c *Ctx) Yield() { c.tb.Yield() }
+
+// Protected executes fn — a fork-free task segment returning a 64-bit
+// result — under the silent-data-corruption protocol. With neither
+// defenses nor a task-corrupting plan armed it is exactly fn() (zero
+// simulated-time events, digest-pinned). Otherwise a seeded fraction of
+// calls (Config.SDC.Replicate) re-execute on a replica rank and compare
+// a streaming digest over the segment's committed writes and result,
+// re-running on mismatch and fail-stopping past MaxReplays; unreplicated
+// calls under a corrupting plan may have one bit of their writes (or of
+// their result, if they write nothing) flipped — a real escape.
+//
+// fn must be fork-free and replay-stable: re-executed from the same
+// committed state it must produce the same bytes (idempotent overwrites
+// and pure results qualify; read-modify-write accumulation does not).
+func (c *Ctx) Protected(fn func() uint64) uint64 {
+	rt := c.rt
+	prot := rt.prot
+	if prot == nil {
+		return fn()
+	}
+	rank := c.tb.RankID()
+	victim, selected := prot.Pick(rank)
+	if !selected {
+		// Unreplicated execution: an armed task-corruption stream may
+		// corrupt this segment for real. The flip lands in the first view
+		// the segment commits, or in the return value if it commits none.
+		if rt.inj != nil {
+			if sig, ok := rt.inj.CorruptTask(c.Now(), rank); ok {
+				l := c.Local()
+				l.SdcArmFlip(sig)
+				ret := fn()
+				if !l.SdcTakeFlip() {
+					ret ^= 1 << (sig & 63)
+				}
+				prot.NoteEscape(rank)
+				return ret
+			}
+		}
+		return fn()
+	}
+	exec := func() (uint64, uint64) {
+		l := c.Local()
+		var sig uint64
+		corrupted := false
+		if rt.inj != nil {
+			sig, corrupted = rt.inj.CorruptTask(c.Now(), rank)
+		}
+		l.SdcArmDigest()
+		ret := fn()
+		dig := (l.SdcTakeDigest() ^ ret) * 0x100000001b3
+		if corrupted {
+			// Deferred flip: under replication a corrupted execution folds
+			// its flip into the digest instead of touching memory, so the
+			// mismatch is guaranteed even for segments that read their own
+			// output back (e.g. re-sorting an in-place-sorted leaf could
+			// otherwise reproduce a survivable flip bit-for-bit), and the
+			// accepted clean pair leaves memory exactly right.
+			dig ^= sig
+		}
+		return ret, dig
+	}
+	return prot.Replicate(c.tb, victim, exec)
+}
 
 // Checkout claims [addr, addr+size) in the given mode, returning a view.
 func (c *Ctx) Checkout(addr pgas.Addr, size uint64, mode pgas.Mode) ([]byte, error) {

@@ -3,8 +3,10 @@
 //
 // A Plan describes every fault a run will experience: link-degradation
 // windows (latency spikes, jitter, bandwidth collapse), transient one-sided
-// operation failures (timeout + retry), and straggler windows (a rank's
-// compute advancing slower than nominal). An Injector executes a plan.
+// operation failures (timeout + retry), straggler windows (a rank's
+// compute advancing slower than nominal), and silent data corruption
+// (seeded bit flips in RMA payloads and task results). An Injector
+// executes a plan.
 // Every decision the injector makes — does this op fail, how much jitter
 // does this transfer get — is a pure function of the plan's seed and a
 // per-rank operation sequence number, never of host state. Because the
@@ -71,6 +73,31 @@ type StragglerWindow struct {
 	Num, Den int64
 }
 
+// Corruption injects silent data corruption: seeded single-bit flips in
+// bulk RMA payloads at the wire boundary (WireProb, per Put/Get) and in
+// task results (TaskProb, per protected task execution). Unlike RMAFaults,
+// corrupted operations succeed — nothing times out, no error surfaces —
+// which is exactly what makes SDC dangerous. Detection and recovery are
+// the job of the layers above: the RMA layer's end-to-end payload
+// checksum (armed with the SDC config) and the scheduler's selective task
+// replication (internal/uth Protector).
+type Corruption struct {
+	// WireProb is the per-transfer probability that one bit of a bulk
+	// Put/Get payload flips in flight (0 disables). Scalar window ops
+	// (GetUint64, atomics) are assumed header-checksummed by the
+	// transport and are never corrupted.
+	WireProb float64
+	// TaskProb is the per-execution probability that a protected task's
+	// result is corrupted: one bit of its committed writes (or of its
+	// return value when it writes nothing) flips (0 disables).
+	TaskProb float64
+	// From and To bound the active window [From, To); To <= 0 = open.
+	From, To sim.Time
+	// MaxFlips bounds injected flips per rank across both streams;
+	// 0 means unlimited.
+	MaxFlips uint64
+}
+
 // Plan is a complete, reproducible fault schedule.
 type Plan struct {
 	Name       string
@@ -78,6 +105,7 @@ type Plan struct {
 	Links      []LinkWindow
 	RMA        RMAFaults
 	Stragglers []StragglerWindow
+	Corrupt    Corruption
 }
 
 func (p Plan) withDefaults() Plan {
@@ -102,6 +130,10 @@ type Stats struct {
 	Injected uint64
 	// BudgetExhausted is the number of ranks whose retry budget ran out.
 	BudgetExhausted uint64
+	// WireFlips is the number of bit flips injected into RMA payloads.
+	WireFlips uint64
+	// TaskFlips is the number of task-result corruptions injected.
+	TaskFlips uint64
 }
 
 // Injector executes a Plan for a fixed number of ranks. It must only be
@@ -111,7 +143,11 @@ type Injector struct {
 	plan      Plan
 	rmaSeq    []uint64 // per-origin failure-decision counter
 	linkSeq   []uint64 // per-origin jitter counter
+	wireSeq   []uint64 // per-origin wire-corruption decision counter
+	taskSeq   []uint64 // per-rank task-corruption decision counter
 	injected  []uint64 // per-origin injected failures (budget accounting)
+	wireFlips []uint64 // per-origin injected wire flips (audit trail)
+	taskFlips []uint64 // per-rank injected task flips (audit trail)
 	exhausted []bool
 	stats     Stats
 }
@@ -123,7 +159,11 @@ func NewInjector(p Plan, ranks int) *Injector {
 		plan:      p.withDefaults(),
 		rmaSeq:    make([]uint64, ranks),
 		linkSeq:   make([]uint64, ranks),
+		wireSeq:   make([]uint64, ranks),
+		taskSeq:   make([]uint64, ranks),
 		injected:  make([]uint64, ranks),
+		wireFlips: make([]uint64, ranks),
+		taskFlips: make([]uint64, ranks),
 		exhausted: make([]bool, ranks),
 	}
 }
@@ -137,6 +177,16 @@ func (in *Injector) Stats() Stats { return in.stats }
 // InjectedByRank returns each origin rank's injected-failure count.
 func (in *Injector) InjectedByRank() []uint64 {
 	return append([]uint64(nil), in.injected...)
+}
+
+// WireFlipsByRank returns each origin rank's injected wire-flip count.
+func (in *Injector) WireFlipsByRank() []uint64 {
+	return append([]uint64(nil), in.wireFlips...)
+}
+
+// TaskFlipsByRank returns each rank's injected task-corruption count.
+func (in *Injector) TaskFlipsByRank() []uint64 {
+	return append([]uint64(nil), in.taskFlips...)
 }
 
 func inWindow(now, from, to sim.Time) bool {
@@ -190,6 +240,75 @@ func (in *Injector) FailRMA(now sim.Time, origin, target int) bool {
 	in.injected[origin]++
 	in.stats.Injected++
 	return true
+}
+
+// WireArmed reports whether the plan can corrupt RMA payloads. The RMA
+// layer checks this single bool on its hot path; when false the
+// corruption stream is never touched, keeping an SDC-free plan
+// digest-identical to one with no Corruption at all.
+func (in *Injector) WireArmed() bool { return in.plan.Corrupt.WireProb > 0 }
+
+// TaskArmed reports whether the plan can corrupt task results.
+func (in *Injector) TaskArmed() bool { return in.plan.Corrupt.TaskProb > 0 }
+
+// corruptBudget reports whether rank's per-rank flip budget is exhausted.
+func (in *Injector) corruptBudget(rank int) bool {
+	m := in.plan.Corrupt.MaxFlips
+	return m > 0 && in.wireFlips[rank]+in.taskFlips[rank] >= m
+}
+
+// CorruptWire decides whether the payload of the next bulk Put/Get from
+// origin to target (nbytes long) is corrupted in flight at virtual time
+// now. On ok it returns the flipped bit's index in [0, nbytes*8), derived
+// from the same hash as the decision so placement is as reproducible as
+// the decision itself. Each armed call consumes one step of origin's
+// wire stream; a disarmed or out-of-window call consumes nothing.
+func (in *Injector) CorruptWire(now sim.Time, origin, target, nbytes int) (bit uint64, ok bool) {
+	c := &in.plan.Corrupt
+	if c.WireProb <= 0 || nbytes <= 0 || !inWindow(now, c.From, c.To) {
+		return 0, false
+	}
+	seq := in.wireSeq[origin]
+	in.wireSeq[origin] = seq + 1
+	if in.corruptBudget(origin) {
+		return 0, false
+	}
+	h := in.hash(4, uint64(origin), uint64(target), seq)
+	if unit(h) >= c.WireProb {
+		return 0, false
+	}
+	in.wireFlips[origin]++
+	in.stats.WireFlips++
+	return splitmix(h) % uint64(nbytes*8), true
+}
+
+// CorruptTask decides whether rank's next protected task execution is
+// corrupted at virtual time now. On ok it returns a 64-bit flip signature
+// the caller maps onto the task's writes (one bit of the committed view)
+// or return value. Each armed call consumes one step of rank's task
+// stream — including replica executions, so two executions of the same
+// task draw independent decisions.
+func (in *Injector) CorruptTask(now sim.Time, rank int) (sig uint64, ok bool) {
+	c := &in.plan.Corrupt
+	if c.TaskProb <= 0 || !inWindow(now, c.From, c.To) {
+		return 0, false
+	}
+	seq := in.taskSeq[rank]
+	in.taskSeq[rank] = seq + 1
+	if in.corruptBudget(rank) {
+		return 0, false
+	}
+	h := in.hash(5, uint64(rank), 0, seq)
+	if unit(h) >= c.TaskProb {
+		return 0, false
+	}
+	in.taskFlips[rank]++
+	in.stats.TaskFlips++
+	sig = splitmix(h)
+	if sig == 0 { // a zero signature would be an invisible flip
+		sig = 1
+	}
+	return sig, true
 }
 
 // Timeout returns the deadline charged per failed attempt.
@@ -305,6 +424,46 @@ func PlanStraggler(seed int64) Plan {
 			{From: 0, To: 0, Src: -1, Dst: 1, ExtraLatency: 3 * sim.Microsecond},
 		},
 	}
+}
+
+// PlanSDC corrupts 10% of protected task results for the whole run. Task
+// corruption only — wire flips land in arbitrary application data
+// (pointers, tree digests) where they can crash rather than silently
+// corrupt, so the wire stream has its own plan below. 10% keeps the
+// chance of a replication protocol exhausting its replay budget
+// (consecutive independently-corrupted executions) negligible while
+// guaranteeing several flips per app at every benchmark scale.
+func PlanSDC(seed int64) Plan {
+	return Plan{
+		Name:    "sdc-task",
+		Seed:    seed,
+		Corrupt: Corruption{TaskProb: 0.1},
+	}
+}
+
+// PlanSDCWire corrupts 2% of bulk RMA payloads in flight. Used by the
+// wire-checksum tests and cilksort (whose payloads are plain data);
+// not part of the app sweep because flipped bits in UTS/FMM metadata
+// (child pointers, node digests) change control flow rather than just
+// results.
+func PlanSDCWire(seed int64) Plan {
+	return Plan{
+		Name:    "sdc-wire",
+		Seed:    seed,
+		Corrupt: Corruption{WireProb: 0.02},
+	}
+}
+
+// PlanSDCStorm combines heavy task corruption (50%) with the flaky-RMA
+// scenario: every protected task is a coin flip away from a bad result
+// while one-sided ops time out and retry underneath. The combined-plan
+// recovery test pins that replication still recovers every corruption
+// exactly once on top of the retry machinery.
+func PlanSDCStorm(seed int64) Plan {
+	p := PlanFlakyRMA(seed)
+	p.Name = "sdc-storm"
+	p.Corrupt = Corruption{TaskProb: 0.5}
+	return p
 }
 
 // CannedPlans returns the three standard plans, all derived from seed.

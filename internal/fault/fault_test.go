@@ -141,6 +141,120 @@ func TestLinkExtraWindows(t *testing.T) {
 	}
 }
 
+// TestCorruptDeterministic: the wire and task corruption streams replay
+// bit-for-bit — same decisions AND same flip placements — across
+// identical-seed injectors, and move with the seed.
+func TestCorruptDeterministic(t *testing.T) {
+	type flip struct {
+		val uint64
+		ok  bool
+	}
+	mk := func(seed int64) (wire, task []flip) {
+		p := Plan{Seed: seed, Corrupt: Corruption{WireProb: 0.05, TaskProb: 0.1}}
+		in := NewInjector(p, 4)
+		for i := 0; i < 2000; i++ {
+			b, ok := in.CorruptWire(sim.Time(i), i%4, (i+1)%4, 256)
+			wire = append(wire, flip{b, ok})
+			s, ok := in.CorruptTask(sim.Time(i), i%4)
+			task = append(task, flip{s, ok})
+		}
+		return wire, task
+	}
+	w1, t1 := mk(7)
+	w2, t2 := mk(7)
+	wireHits, taskHits := 0, 0
+	for i := range w1 {
+		if w1[i] != w2[i] || t1[i] != t2[i] {
+			t.Fatalf("decision %d differs across identical-seed injectors", i)
+		}
+		if w1[i].ok {
+			wireHits++
+			if w1[i].val >= 256*8 {
+				t.Fatalf("wire flip bit %d out of payload range", w1[i].val)
+			}
+		}
+		if t1[i].ok {
+			taskHits++
+			if t1[i].val == 0 {
+				t.Fatalf("task flip signature must be nonzero")
+			}
+		}
+	}
+	if wireHits == 0 || taskHits == 0 {
+		t.Fatalf("corruption injected nothing in 2000 ops (wire=%d task=%d)", wireHits, taskHits)
+	}
+	w3, t3 := mk(8)
+	same := 0
+	for i := range w1 {
+		if w1[i] == w3[i] && t1[i] == t3[i] {
+			same++
+		}
+	}
+	if same == len(w1) {
+		t.Fatalf("seed change did not change the corruption streams")
+	}
+}
+
+// TestCorruptWindowAndBudget: nothing flips outside [From, To); MaxFlips
+// caps the combined per-rank flip count; the audit trails record where
+// flips landed.
+func TestCorruptWindowAndBudget(t *testing.T) {
+	p := Plan{Seed: 7, Corrupt: Corruption{
+		WireProb: 1, TaskProb: 1, From: 100, To: 200, MaxFlips: 3,
+	}}
+	in := NewInjector(p, 2)
+	if _, ok := in.CorruptWire(50, 0, 1, 64); ok {
+		t.Errorf("wire flip before window")
+	}
+	if _, ok := in.CorruptTask(200, 0); ok {
+		t.Errorf("task flip at window close")
+	}
+	flips := 0
+	for i := 0; i < 10; i++ {
+		if _, ok := in.CorruptWire(150, 0, 1, 64); ok {
+			flips++
+		}
+		if _, ok := in.CorruptTask(150, 0); ok {
+			flips++
+		}
+	}
+	if flips != 3 {
+		t.Errorf("rank 0 injected %d flips, want budget 3", flips)
+	}
+	if _, ok := in.CorruptTask(150, 1); !ok {
+		t.Errorf("rank 1's flip budget should be untouched")
+	}
+	wf, tf := in.WireFlipsByRank(), in.TaskFlipsByRank()
+	if wf[0]+tf[0] != 3 || wf[1]+tf[1] != 1 {
+		t.Errorf("audit trails = wire %v task %v, want rank sums [3 1]", wf, tf)
+	}
+	st := in.Stats()
+	if st.WireFlips+st.TaskFlips != 4 {
+		t.Errorf("Stats flips = %d+%d, want 4 total", st.WireFlips, st.TaskFlips)
+	}
+}
+
+// TestCorruptDisabledZeroAlloc: the disarmed corruption path allocates
+// nothing and consumes no stream state, so arming an empty Corruption is
+// observably identical to no corruption at all.
+func TestCorruptDisabledZeroAlloc(t *testing.T) {
+	in := NewInjector(PlanFlakyRMA(7), 2)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := in.CorruptWire(100, 0, 1, 4096); ok {
+			t.Fatalf("disarmed wire stream injected a flip")
+		}
+		if _, ok := in.CorruptTask(100, 0); ok {
+			t.Fatalf("disarmed task stream injected a flip")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disarmed corruption path allocates %.1f/op, want 0", allocs)
+	}
+	if in.wireSeq[0] != 0 || in.taskSeq[0] != 0 {
+		t.Errorf("disarmed calls consumed stream state")
+	}
+}
+
 // TestLinkJitterDeterministic: jitter is bounded by the window's Jitter
 // and replays identically for identical injectors.
 func TestLinkJitterDeterministic(t *testing.T) {

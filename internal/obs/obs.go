@@ -1,7 +1,8 @@
 // Package obs is the shared command-line plumbing for the example
 // binaries (cilksort, fmm, utsmem): the -trace/-metrics/-profile
-// observability flags and the -coalesce/-prefetch cache
-// communication-batching knobs.
+// observability flags, the -coalesce/-prefetch cache
+// communication-batching knobs, and the -sdc/-replicate
+// silent-data-corruption knobs.
 // Each binary registers the flags, applies them to its Config, and calls
 // Write after the run. Keeping this here means every command emits the
 // same file formats (itytrace/v1 and itoyori-metrics/v1) that
@@ -15,7 +16,9 @@ import (
 	"os"
 
 	"ityr/internal/core"
+	"ityr/internal/fault"
 	"ityr/internal/pgas"
+	"ityr/internal/uth"
 )
 
 // Flags registers -trace, -metrics and -profile on the default flag set
@@ -68,6 +71,35 @@ func ApplyBatch(cfg *pgas.Config, coalesce bool, prefetch int) {
 	}
 	cfg.CoalesceWriteBack = coalesce
 	cfg.PrefetchBlocks = prefetch
+}
+
+// SDCFlags registers the silent-data-corruption knobs -sdc and -replicate
+// on the default flag set. -sdc arms the canned sdc-task bit-flip plan
+// (deterministic from the run seed); -replicate FRAC enables selective
+// task replication with digest compare on FRAC of protected task
+// segments. Combine them to watch detection and recovery; use -sdc alone
+// for the negative control (the run reports undetected escapes and
+// usually fails verification); use -replicate alone to measure the pure
+// replication overhead. Apply the parsed values via ApplySDC.
+func SDCFlags() (sdc *bool, replicate *float64) {
+	sdc = flag.Bool("sdc", false,
+		"inject deterministic silent bit flips into task results (canned sdc-task plan, seeded from -seed)")
+	replicate = flag.Float64("replicate", 0,
+		"re-execute this fraction of protected task segments and compare result digests (0 = off, 1 = all)")
+	return sdc, replicate
+}
+
+// ApplySDC applies the SDCFlags values to a Config. Corruption injection
+// forces the serial engine (fault plans pin shards=1); replication alone
+// keeps sharded runs digest-identical.
+func ApplySDC(cfg *core.Config, sdc bool, replicate float64) {
+	if sdc {
+		plan := fault.PlanSDC(cfg.Seed)
+		cfg.Faults = &plan
+	}
+	if replicate > 0 {
+		cfg.SDC = &uth.SDCConfig{Replicate: replicate}
+	}
 }
 
 // Write emits the dump files requested by the flags. rt must have been

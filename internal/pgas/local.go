@@ -64,6 +64,75 @@ type Local struct {
 	// "Checkout"/"Checkin". The paper uses this to attribute the
 	// single-element loads of Cilksort's binary search to "Get".
 	ProfCategory string
+
+	// SDC instrumentation (silent-data-corruption subsystem), driven by
+	// the runtime's Protected wrapper around fork-free task segments.
+	// While sdcDigestArmed, every view this rank commits at a written
+	// checkin is folded into a streaming FNV-1a digest — the cheap
+	// result fingerprint task replication compares. While sdcFlipArmed,
+	// one deferred bit flip is applied to the first such view before it
+	// commits, corrupting memory the way a real SDC would. Both are
+	// host-side only (no simulated time), and the unarmed hot path is
+	// two bool checks.
+	sdcDigestArmed bool
+	sdcDigest      uint64
+	sdcFlipArmed   bool
+	sdcFlipSel     uint64
+	sdcFlipDone    bool
+}
+
+// FNV-1a parameters for the SDC write digest.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// SdcArmDigest starts streaming a digest over the bytes committed by this
+// rank's subsequent written checkins.
+func (l *Local) SdcArmDigest() {
+	l.sdcDigestArmed = true
+	l.sdcDigest = fnvOffset64
+}
+
+// SdcTakeDigest disarms the write digest and returns its value.
+func (l *Local) SdcTakeDigest() uint64 {
+	l.sdcDigestArmed = false
+	return l.sdcDigest
+}
+
+// SdcArmFlip arms one deferred bit flip: the first view committed by a
+// subsequent written checkin has bit (sel mod its size) flipped before it
+// reaches backing memory.
+func (l *Local) SdcArmFlip(sel uint64) {
+	l.sdcFlipArmed = true
+	l.sdcFlipSel = sel
+	l.sdcFlipDone = false
+}
+
+// SdcTakeFlip disarms the deferred flip and reports whether it was
+// applied (false means the protected segment committed no writes, so the
+// caller must corrupt the task's return value instead).
+func (l *Local) SdcTakeFlip() bool {
+	l.sdcFlipArmed = false
+	return l.sdcFlipDone
+}
+
+// sdcOnCheckin applies the armed deferred flip and/or folds the committed
+// view into the streaming digest. Only called for non-empty written
+// checkins while armed.
+func (l *Local) sdcOnCheckin(view []byte) {
+	if l.sdcFlipArmed && !l.sdcFlipDone && len(view) > 0 {
+		bit := l.sdcFlipSel % uint64(len(view)*8)
+		view[bit>>3] ^= 1 << (bit & 7)
+		l.sdcFlipDone = true
+	}
+	if l.sdcDigestArmed {
+		d := l.sdcDigest
+		for _, b := range view {
+			d = (d ^ uint64(b)) * fnvPrime64
+		}
+		l.sdcDigest = d
+	}
 }
 
 // poolLimit bounds the per-rank recycling pools.
@@ -429,6 +498,13 @@ func (l *Local) Checkin(addr Addr, size uint64, mode Mode) error {
 	}
 	rec := l.outstanding[idx]
 	l.outstanding = append(l.outstanding[:idx], l.outstanding[idx+1:]...)
+
+	// SDC hook: both the NoCache and the cached path below commit
+	// rec.view verbatim, so flipping/folding the view here covers every
+	// write this rank publishes.
+	if (l.sdcDigestArmed || l.sdcFlipArmed) && mode != Read && size > 0 {
+		l.sdcOnCheckin(rec.view)
+	}
 
 	if s.cfg.Policy == NoCache {
 		if mode != Read {

@@ -58,6 +58,9 @@ var (
 	// ErrRetriesExhausted reports an op that kept failing past the fault
 	// plan's MaxAttempts fail-stop bound.
 	ErrRetriesExhausted = errors.New("rma: retries exhausted")
+	// ErrSdcUnrecoverable reports a transfer whose payload kept arriving
+	// corrupted past the SDC replay bound (fail-stop).
+	ErrSdcUnrecoverable = errors.New("rma: payload corruption persisted past replay bound")
 )
 
 // Comm is a communicator over a fixed set of ranks.
@@ -73,6 +76,11 @@ type Comm struct {
 	inj    *fault.Injector  // nil = no fault injection
 	tracer *trace.Log       // nil = no retry spans
 	prof   *profile.Profile // nil = no streaming profile
+
+	// sdcReplays > 0 arms the end-to-end payload checksum: a corrupted
+	// bulk transfer is detected and retransmitted up to sdcReplays times
+	// before fail-stop. 0 (the default) lets wire flips land silently.
+	sdcReplays int
 
 	// Barrier state: per-rank virtual arrival times plus an atomic arrival
 	// counter. Writing the slot before the Add and reading all slots only
@@ -119,6 +127,14 @@ func (c *Comm) Faults() *fault.Injector { return c.inj }
 // SetTrace attaches an event log so retries appear as KRetry spans.
 func (c *Comm) SetTrace(tl *trace.Log) { c.tracer = tl }
 
+// SetSDCVerify arms the end-to-end payload checksum: every corrupted bulk
+// Put/Get payload is detected on arrival and retransmitted (each
+// retransmission re-charging the full origin-side issue cost), failing
+// stop with ErrSdcUnrecoverable after maxReplays retransmissions of one
+// transfer. maxReplays <= 0 disarms verification, in which case injected
+// wire flips corrupt memory silently (counted as escapes).
+func (c *Comm) SetSDCVerify(maxReplays int) { c.sdcReplays = maxReplays }
+
 // SetProfile attaches the streaming profile collector: one-sided ops feed
 // the communication matrix and flush/barrier waits feed the stall rollups.
 // A nil profile (the default) keeps every hook to a single nil-check.
@@ -131,6 +147,27 @@ func (c *Comm) RetriesByRank() []uint64 {
 	out := make([]uint64, len(c.ranks))
 	for i := range c.ranks {
 		out[i] = c.ranks[i].retries
+	}
+	return out
+}
+
+// SdcWireDetectedByRank returns each origin rank's count of wire flips
+// caught by the end-to-end payload checksum (the detection side of the
+// injector's WireFlipsByRank audit trail).
+func (c *Comm) SdcWireDetectedByRank() []uint64 {
+	out := make([]uint64, len(c.ranks))
+	for i := range c.ranks {
+		out[i] = c.ranks[i].sdcDetected
+	}
+	return out
+}
+
+// SdcWireEscapesByRank returns each origin rank's count of wire flips
+// that landed silently (checksum not armed).
+func (c *Comm) SdcWireEscapesByRank() []uint64 {
+	out := make([]uint64, len(c.ranks))
+	for i := range c.ranks {
+		out[i] = c.ranks[i].sdcEscapes
 	}
 	return out
 }
@@ -155,6 +192,30 @@ type Stats struct {
 	Barriers                  uint64 // completed barrier episodes
 	Retries                   uint64 // transient failures retried (fault injection)
 	RetryNs                   uint64 // virtual time lost to retry timeouts + backoff
+}
+
+// SdcWireStats reports silent-data-corruption activity on bulk payloads.
+// Kept out of Stats so digests that fold Stats verbatim stay comparable
+// across versions that predate the SDC subsystem (the same rule that
+// keeps pgas.BatchStats separate).
+type SdcWireStats struct {
+	Flips    uint64 // bit flips injected into bulk payloads
+	Detected uint64 // flips caught by the end-to-end checksum
+	Retrans  uint64 // retransmissions issued to recover them
+	Escapes  uint64 // flips that landed silently (checksum off)
+}
+
+// SdcWire returns cumulative wire-corruption counters (sum over ranks).
+func (c *Comm) SdcWire() SdcWireStats {
+	var s SdcWireStats
+	for i := range c.ranks {
+		r := &c.ranks[i]
+		s.Flips += r.sdcFlips
+		s.Detected += r.sdcDetected
+		s.Retrans += r.sdcRetrans
+		s.Escapes += r.sdcEscapes
+	}
+	return s
 }
 
 // Stats returns cumulative traffic counters: the sum of every rank's
@@ -240,6 +301,13 @@ type Rank struct {
 	flushWaits         uint64
 	retries            uint64
 	retryNs            uint64
+
+	// Silent-data-corruption counters for bulk payloads this rank
+	// originated (summed by Comm.Stats, like the traffic counters).
+	sdcFlips    uint64
+	sdcDetected uint64
+	sdcRetrans  uint64
+	sdcEscapes  uint64
 }
 
 // pendingEntry records the completion time of the latest outstanding
@@ -344,6 +412,47 @@ func (r *Rank) retryFaults(target int) {
 			panic(fmt.Errorf("%w: rank %d op to rank %d failed %d attempts under plan %q",
 				ErrRetriesExhausted, r.id, target, attempt, in.Plan().Name))
 		}
+	}
+}
+
+// sdcWire models silent wire corruption of one bulk transfer and, when
+// the end-to-end payload checksum is armed (SetSDCVerify), the
+// detect-and-retransmit recovery loop. src is the intact source of the
+// payload and landed the bytes the transfer materialized (the window
+// segment for a Put, the caller's dst for a Get); the two alias distinct
+// memory, so src always holds clean bytes to retransmit from. Each
+// retransmission draws a fresh corruption decision — a retransmit can
+// itself be corrupted — and re-charges the full issue cost (including
+// transient-failure retries). Without an armed wire-corruption stream
+// this is two cheap checks, keeping an SDC-free plan digest-identical to
+// one with no Corruption at all.
+func (r *Rank) sdcWire(src, landed []byte, target int) {
+	in := r.c.inj
+	if in == nil || target == r.id || !in.WireArmed() {
+		return
+	}
+	for attempt := 1; ; attempt++ {
+		bit, ok := in.CorruptWire(r.proc.Now(), r.id, target, len(landed))
+		if !ok {
+			return
+		}
+		r.sdcFlips++
+		landed[bit>>3] ^= 1 << (bit & 7)
+		if r.c.sdcReplays <= 0 {
+			// No checksum armed: the flip lands silently and the program
+			// computes on corrupted bytes.
+			r.sdcEscapes++
+			return
+		}
+		r.sdcDetected++
+		r.c.tracer.Rec2(r.proc.Now(), r.id, trace.KSdcDetect, int64(target), int64(attempt))
+		if attempt > r.c.sdcReplays {
+			panic(fmt.Errorf("%w: rank %d transfer to rank %d corrupted %d times under plan %q",
+				ErrSdcUnrecoverable, r.id, target, attempt, in.Plan().Name))
+		}
+		copy(landed, src)
+		r.issue(target, len(landed))
+		r.sdcRetrans++
 	}
 }
 
@@ -601,22 +710,36 @@ func (w *Win) check(target, off, n int) {
 }
 
 // Get starts a nonblocking read of len(dst) bytes from target's segment at
-// off into dst. The data is guaranteed valid after the next Flush.
+// off into dst. The data is guaranteed valid after the next Flush. Bulk
+// payloads are subject to wire corruption under an armed Corruption plan
+// (the segment stays intact; only dst is flipped, and the checksum
+// retransmits from the segment).
 func (w *Win) Get(r *Rank, target, off int, dst []byte) {
 	w.check(target, off, len(dst))
 	copy(dst, w.segs[target][off:])
 	r.issue(target, len(dst))
+	r.sdcWire(w.segs[target][off:off+len(dst)], dst, target)
 	r.getOps++
 	r.getBytes += uint64(len(dst))
 	r.c.prof.RMA(r.id, target, profile.OpGet, len(dst))
 }
 
 // Put starts a nonblocking write of src into target's segment at off.
-// Completion (remote visibility) is guaranteed after the next Flush.
+// Completion (remote visibility) is guaranteed after the next Flush. Bulk
+// payloads are subject to wire corruption under an armed Corruption plan
+// (the landed segment bytes are flipped; src stays intact, so the
+// checksum retransmits from it).
 func (w *Win) Put(r *Rank, src []byte, target, off int) {
+	w.put(r, src, target, off, true)
+}
+
+func (w *Win) put(r *Rank, src []byte, target, off int, corruptible bool) {
 	w.check(target, off, len(src))
 	copy(w.segs[target][off:], src)
 	r.issue(target, len(src))
+	if corruptible {
+		r.sdcWire(src, w.segs[target][off:off+len(src)], target)
+	}
 	r.putOps++
 	r.putBytes += uint64(len(src))
 	r.c.prof.RMA(r.id, target, profile.OpPut, len(src))
@@ -633,11 +756,13 @@ func (w *Win) GetUint64(r *Rank, target, off int) uint64 {
 	return v
 }
 
-// PutUint64 is a nonblocking 8-byte write.
+// PutUint64 is a nonblocking 8-byte write. Like GetUint64 and the
+// atomics, scalar control words are assumed header-checksummed by the
+// transport and are never corrupted (only bulk payloads are).
 func (w *Win) PutUint64(r *Rank, v uint64, target, off int) {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
-	w.Put(r, b[:], target, off)
+	w.put(r, b[:], target, off, false)
 }
 
 // LocalUint64 reads an 8-byte value from the rank's own segment without

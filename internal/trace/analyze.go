@@ -285,17 +285,67 @@ func ResilienceReport(w io.Writer, raw json.RawMessage) error {
 	retries := snap.Counters["rma_retries"]
 	blacklists := snap.Counters["uth_steal_blacklists"]
 	injected := snap.Counters["fault_injected_failures"]
-	if retries == 0 && blacklists == 0 && injected == 0 {
+	sdcActive := snap.Counters["sdc_protected_tasks"] != 0 ||
+		snap.Counters["sdc_injected_flips"] != 0 ||
+		snap.Counters["replica_tasks"] != 0
+	if retries == 0 && blacklists == 0 && injected == 0 && !sdcActive {
 		return nil
 	}
 	fmt.Fprintf(w, "\nresilience (whole-run counters):\n")
-	fmt.Fprintf(w, "  injected failures   %d  (budget exhausted on %d rank(s))\n",
-		injected, snap.Counters["fault_budget_exhausted_ranks"])
-	fmt.Fprintf(w, "  rma retries         %d  (%d ns of timeout+backoff stall)\n",
-		retries, snap.Counters["rma_retry_stall_ns"])
-	fmt.Fprintf(w, "  steal timeouts      %d   blacklists %d   redirected picks %d\n",
-		snap.Counters["uth_steal_timeouts"],
-		snap.Counters["uth_steal_blacklists"],
-		snap.Counters["uth_blacklist_skips"])
+	if retries != 0 || blacklists != 0 || injected != 0 {
+		fmt.Fprintf(w, "  injected failures   %d  (budget exhausted on %d rank(s))\n",
+			injected, snap.Counters["fault_budget_exhausted_ranks"])
+		fmt.Fprintf(w, "  rma retries         %d  (%d ns of timeout+backoff stall)\n",
+			retries, snap.Counters["rma_retry_stall_ns"])
+		fmt.Fprintf(w, "  steal timeouts      %d   blacklists %d   redirected picks %d\n",
+			snap.Counters["uth_steal_timeouts"],
+			snap.Counters["uth_steal_blacklists"],
+			snap.Counters["uth_blacklist_skips"])
+	}
+	if sdcActive {
+		sdcReport(w, &snap)
+	}
 	return nil
+}
+
+// sdcReport prints the silent-data-corruption section of the resilience
+// report: whole-run counters plus a per-rank injected-vs-detected table.
+// Escapes — corruptions that reached neither the replication digest nor the
+// wire checksum — are the dangerous quantity, so they are flagged
+// explicitly rather than left as a column the reader must scan.
+func sdcReport(w io.Writer, snap *metrics.Snapshot) {
+	escaped := snap.Counters["sdc_escaped"]
+	fmt.Fprintf(w, "  sdc: protected %d  replicas %d  detected %d  recovered %d  injected flips %d (wire %d)\n",
+		snap.Counters["sdc_protected_tasks"],
+		snap.Counters["replica_tasks"],
+		snap.Counters["sdc_detected"],
+		snap.Counters["sdc_recovered"],
+		snap.Counters["sdc_injected_flips"],
+		snap.Counters["sdc_wire_flips"])
+	if escaped > 0 {
+		fmt.Fprintf(w, "  sdc: *** %d UNDETECTED ESCAPE(S) — output may be silently corrupt ***\n", escaped)
+	} else if snap.Counters["sdc_injected_flips"] > 0 {
+		fmt.Fprintf(w, "  sdc: no undetected escapes\n")
+	}
+	// Per-rank table, present only when a corruption plan was armed.
+	if _, ok := snap.Counters["sdc_injected_rank_00"]; !ok {
+		return
+	}
+	fmt.Fprintf(w, "  sdc per-rank corruption (injected / detected / escaped):\n")
+	for i := 0; ; i++ {
+		inj, ok := snap.Counters[fmt.Sprintf("sdc_injected_rank_%02d", i)]
+		if !ok {
+			break
+		}
+		det := snap.Counters[fmt.Sprintf("sdc_detected_rank_%02d", i)]
+		esc := snap.Counters[fmt.Sprintf("sdc_escaped_rank_%02d", i)]
+		if inj == 0 && det == 0 && esc == 0 {
+			continue
+		}
+		flag := ""
+		if esc > 0 {
+			flag = "  <-- UNDETECTED"
+		}
+		fmt.Fprintf(w, "    rank %2d   %6d %9d %8d%s\n", i, inj, det, esc, flag)
+	}
 }

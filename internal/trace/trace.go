@@ -55,6 +55,11 @@ const (
 	// KPrefetch was added with the cache communication-batching layer
 	// (sequential-access block prefetch), appended per the same rule.
 	KPrefetch
+	// KReplica and KSdcDetect were added with the silent-data-corruption
+	// subsystem (task replication + wire checksums), appended per the
+	// same rule.
+	KReplica
+	KSdcDetect
 	numKinds
 )
 
@@ -62,6 +67,7 @@ var kindNames = [numKinds]string{
 	"fork", "steal", "failed-steal", "migrate", "release", "lazy-release",
 	"acquire", "cache-miss", "write-back", "eviction", "region-enter", "region-exit",
 	"checkout", "task", "task-end", "join", "retry", "blacklist", "prefetch",
+	"replica", "sdc-detect",
 }
 
 func (k Kind) String() string {
@@ -88,6 +94,10 @@ func (k Kind) String() string {
 //	KCacheMiss   Arg = bytes fetched
 //	KWriteBack   Arg = bytes written back
 //	KPrefetch    Arg = bytes prefetched in one batched lookahead Get
+//	KReplica     Arg = victim rank,     Arg2 = execution number ≥ 2 (span:
+//	             one redundant execution of a protected task segment)
+//	KSdcDetect   Arg = target/victim rank, Arg2 = attempt/replay number
+//	             (instant: a digest or checksum mismatch caught a flip)
 //	KEviction    Arg = bytes evicted
 //	KAcquire / KRelease / KMigrate: span over the fence / migration fence
 type Event struct {

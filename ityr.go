@@ -60,6 +60,9 @@ type (
 	PgasConfig = pgas.Config
 	// SchedConfig tunes the work-stealing scheduler.
 	SchedConfig = uth.Config
+	// SDCConfig tunes selective task replication (silent-data-corruption
+	// detection); set Config.SDC to enable it.
+	SDCConfig = uth.SDCConfig
 	// NetParams is the interconnect cost model.
 	NetParams = netmodel.Params
 	// Time is virtual time in nanoseconds.
