@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test shuffle race race-all golden faults sdc bench hostperf docscheck linkcheck perf perfgate perf-baseline
+.PHONY: check fmt vet build test shuffle race race-all golden faults sdc validate bench hostperf docscheck linkcheck perf perfgate perf-baseline
 
-check: fmt vet build test shuffle race golden faults sdc docscheck linkcheck perfgate
+check: fmt vet build test shuffle race golden faults sdc validate docscheck linkcheck perfgate
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -59,6 +59,16 @@ sdc:
 	$(GO) test -count=1 -run 'SDC' ./internal/bench
 	$(GO) test -count=1 -race -run 'SDCShardedParity' ./internal/bench
 
+# Checkout-discipline validator suite: every documented memory-model rule
+# has a failing program whose diagnostic names the rule, window, offset
+# range and task segments; clean DAG runs stay silent; the validator-off
+# hot path allocates nothing; and the serial/sharded violation reports are
+# bit-identical (that parity case also runs under the race detector, since
+# SPMD-phase checkouts reach the validator from parallel host shards).
+validate:
+	$(GO) test -count=1 -run 'TestValidator|TestSetPolicy' ./internal/core
+	$(GO) test -count=1 -race -run 'TestValidatorShardParity' ./internal/core
+
 # Host-side kernel throughput (not part of check: timing-sensitive).
 bench:
 	$(GO) test -bench BenchmarkSimEngine -run xxx ./internal/sim
@@ -82,10 +92,11 @@ perf-baseline:
 	$(GO) run ./cmd/itybench -perf BENCH_baseline.json -scale smoke
 
 # Documentation gates: every package keeps a package comment (and the public
-# ityr package keeps per-identifier docs); markdown links and code fences in
-# the top-level docs stay valid.
+# ityr package plus internal/pgas — the memory-model contract surface —
+# keep per-identifier docs); markdown links and code fences in the
+# top-level docs stay valid.
 docscheck:
 	$(GO) run ./internal/tools/docscheck
 
 linkcheck:
-	$(GO) run ./internal/tools/linkcheck README.md DESIGN.md EXPERIMENTS.md
+	$(GO) run ./internal/tools/linkcheck README.md DESIGN.md EXPERIMENTS.md PITFALLS.md

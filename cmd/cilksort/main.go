@@ -43,6 +43,9 @@ func main() {
 	hostProcs := obs.ProcsFlag()
 	coalesce, prefetch := obs.BatchFlags()
 	sdc, replicate := obs.SDCFlags()
+	validate := obs.ValidateFlag()
+	violate := flag.Bool("violate", false,
+		"deliberately break the checkout discipline (write-under-read) instead of sorting — a demo workload for -validate; see EXPERIMENTS.md")
 	flag.Parse()
 
 	pol, err := parsePolicy(*policy)
@@ -62,9 +65,11 @@ func main() {
 	}
 	obs.ApplyBatch(&cfg.Pgas, *coalesce, *prefetch)
 	obs.ApplySDC(&cfg, *sdc, *replicate)
+	cfg.Pgas.Validate = *validate || *violate
 	rt := ityr.NewRuntime(cfg)
 	var sortTime ityr.Time
 	ok := true
+	var vioErr error
 	err = rt.Run(func(s *ityr.SPMD) {
 		var a, b ityr.GSpan[cilksort.Elem]
 		if s.Rank() == 0 {
@@ -72,6 +77,32 @@ func main() {
 			b = ityr.AllocArraySPMD[cilksort.Elem](s, *n, ityr.BlockCyclicDist)
 		}
 		s.Barrier()
+		if *violate {
+			// Staged write-under-read on a[0:16) (64 bytes): the forked
+			// child checks the range out read-only and holds the view for
+			// 100 µs of virtual compute; the parent's continuation is
+			// stolen by an idle rank (child-first scheduling) and checks
+			// the same bytes out for writing while the child still reads
+			// them — exactly the overlap the validator exists to catch.
+			s.RootExec(func(c *ityr.Ctx) {
+				base := a.Ptr.Addr()
+				child := c.Fork(func(c *ityr.Ctx) {
+					if _, cerr := c.Checkout(base, 64, ityr.Read); cerr != nil {
+						vioErr = cerr
+						return
+					}
+					c.Charge(100 * 1000) // "compute" on the view for 100 µs
+					c.Checkin(base, 64, ityr.Read)
+				})
+				if _, cerr := c.Checkout(base, 64, ityr.ReadWrite); cerr != nil {
+					vioErr = cerr
+				} else {
+					c.Checkin(base, 64, ityr.ReadWrite)
+				}
+				c.Join(child)
+			})
+			return
+		}
 		var before, after int64
 		s.RootExec(func(c *ityr.Ctx) { cilksort.Generate(c, a, uint64(*seed)) })
 		if *verify {
@@ -95,6 +126,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *violate {
+		// The run aborted at the injected violation: print the diagnostic
+		// and the validator report, still write any requested dumps (the
+		// trace embeds the same report for itytrace), and fail the run.
+		if vioErr != nil {
+			fmt.Fprintln(os.Stderr, vioErr)
+		}
+		caught := obs.ReportViolations(rt)
+		if werr := obs.Write(rt, *traceDump, *metricsFile, *profileFile); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+		}
+		if caught {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "cilksort: -violate tripped no violation (validator bug?)")
+		os.Exit(2)
 	}
 	fmt.Printf("cilksort: n=%d cutoff=%d ranks=%d policy=%v\n", *n, *cutoff, *ranks, pol)
 	fmt.Printf("  sort time      %.3f ms (virtual)\n", float64(sortTime)/1e6)
@@ -137,6 +185,9 @@ func main() {
 	if err := obs.Write(rt, *traceDump, *metricsFile, *profileFile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *validate && obs.ReportViolations(rt) && exitCode == 0 {
+		exitCode = 1
 	}
 	os.Exit(exitCode)
 }

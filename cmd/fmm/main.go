@@ -34,6 +34,7 @@ func main() {
 	hostProcs := obs.ProcsFlag()
 	coalesce, prefetch := obs.BatchFlags()
 	sdc, replicate := obs.SDCFlags()
+	validate := obs.ValidateFlag()
 	flag.Parse()
 
 	var pol ityr.Policy
@@ -75,6 +76,7 @@ func main() {
 	}
 	obs.ApplyBatch(&cfg.Pgas, *coalesce, *prefetch)
 	obs.ApplySDC(&cfg, *sdc, *replicate)
+	cfg.Pgas.Validate = *validate
 	rt := ityr.NewRuntime(cfg)
 	var evalTime ityr.Time
 	var result []fmm.Body
@@ -132,6 +134,9 @@ func main() {
 	}
 	if err := obs.Write(rt, *traceDump, *metricsFile, *profileFile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *validate && obs.ReportViolations(rt) {
 		os.Exit(1)
 	}
 }

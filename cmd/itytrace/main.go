@@ -74,6 +74,9 @@ func main() {
 	if err := trace.ProfileReport(os.Stdout, meta.Profile); err != nil {
 		fail(err)
 	}
+	if err := trace.ValidatorReport(os.Stdout, meta.Validator); err != nil {
+		fail(err)
+	}
 
 	if *chrome != "" {
 		cf, err := os.Create(*chrome)

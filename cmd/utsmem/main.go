@@ -26,6 +26,7 @@ func main() {
 	hostProcs := obs.ProcsFlag()
 	coalesce, prefetch := obs.BatchFlags()
 	sdc, replicate := obs.SDCFlags()
+	validate := obs.ValidateFlag()
 	flag.Parse()
 
 	var tree uts.Tree
@@ -64,6 +65,7 @@ func main() {
 	}
 	obs.ApplyBatch(&cfg.Pgas, *coalesce, *prefetch)
 	obs.ApplySDC(&cfg, *sdc, *replicate)
+	cfg.Pgas.Validate = *validate
 	rt := ityr.NewRuntime(cfg)
 	var buildTime, travTime ityr.Time
 	var built, counted int64
@@ -116,6 +118,9 @@ func main() {
 	if err := obs.Write(rt, *traceDump, *metricsFile, *profileFile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *validate && obs.ReportViolations(rt) && exitCode == 0 {
+		exitCode = 1
 	}
 	os.Exit(exitCode)
 }

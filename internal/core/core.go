@@ -179,6 +179,13 @@ func NewRuntime(cfg Config) *Runtime {
 	space.MetricCheckoutBytes = reg.Histogram("pgas_checkout_bytes", metrics.ExpBuckets(64, 4, 12))
 	sched := uth.NewSched(comm, cfg.Sched, hooks{space: space, trace: tl, eng: eng})
 	sched.SetTrace(tl)
+	if cfg.Pgas.Validate {
+		// Validator diagnostics name the task segment running on the
+		// offending rank; the scheduler knows the thread -> rank binding.
+		space.TaskOf = func(rank int) int64 {
+			return sched.CurrentTID(comm.Rank(rank).Proc())
+		}
+	}
 	var stream *profile.Profile
 	if cfg.Profile {
 		stream = profile.New(cfg.Ranks, net)
@@ -320,6 +327,13 @@ func (rt *Runtime) MetricsSnapshot() metrics.Snapshot {
 		reg.Counter("trace_dropped_spans").Set(rt.trace.Dropped())
 	}
 
+	// Validator observability: surfaced only when checkout validation is
+	// on, so validator-off snapshots keep their historical key set (and
+	// stay bit-identical to pre-validator runs).
+	if rt.space.Validating() {
+		reg.Counter("pgas_validator_violations").Set(uint64(len(rt.space.Violations())))
+	}
+
 	// Fault-plan observability: surfaced only when a plan is armed, so
 	// fault-free snapshots keep their historical key set.
 	if rt.inj != nil {
@@ -389,12 +403,19 @@ func (rt *Runtime) WriteTrace(w io.Writer) error {
 			return err
 		}
 	}
+	var valSnap json.RawMessage
+	if rt.space.Validating() {
+		if valSnap, err = trace.MarshalValidator(rt.space.Violations()); err != nil {
+			return err
+		}
+	}
 	return rt.trace.WriteDump(w, trace.Meta{
 		Ranks:        rt.cfg.Ranks,
 		CoresPerNode: rt.cfg.CoresPerNode,
 		Policy:       rt.space.Policy().String(),
 		Metrics:      snap,
 		Profile:      profSnap,
+		Validator:    valSnap,
 	})
 }
 

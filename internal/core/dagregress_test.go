@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"ityr/internal/pgas"
+)
+
+// TestRandomDAGRegressions pins previously-failing random-DAG seeds as a
+// permanent table: the ROADMAP item 5 shared-cache WriteBackLazy lost-write
+// (seed 7212503127583136179) plus the same seed across the other policies,
+// so a coherence regression in any policy path trips deterministically
+// rather than waiting for testing/quick to rediscover the seed.
+func TestRandomDAGRegressions(t *testing.T) {
+	cases := []struct {
+		name   string
+		seed   int64
+		ci     int
+		ranks  int
+		cpn    int
+		pol    pgas.Policy
+		shared bool
+	}{
+		// The ROADMAP item 5 repro: lost write under SharedCache +
+		// WriteBackLazy, fixed by the checkout-discipline validator PR.
+		{"SharedWriteBackLazy", 7212503127583136179, 4, 8, 4, pgas.WriteBackLazy, true},
+		{"WriteBackLazy", 7212503127583136179, 0, 4, 2, pgas.WriteBackLazy, false},
+		{"WriteBack", 7212503127583136179, 1, 8, 4, pgas.WriteBack, false},
+		{"WriteThrough", 7212503127583136179, 2, 8, 4, pgas.WriteThrough, false},
+		{"NoCache", 7212503127583136179, 3, 8, 4, pgas.NoCache, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if !runRandomDAG(t, tc.seed, tc.ci, tc.ranks, tc.cpn, tc.pol, tc.shared) {
+				t.Fatalf("seed %d (pol=%v shared=%v) produced wrong cell values", tc.seed, tc.pol, tc.shared)
+			}
+		})
+	}
+}

@@ -102,7 +102,7 @@ func runRandomDAG(t *testing.T, seed int64, ci, ranks, cpn int, pol pgas.Policy,
 	return runRandomDAGWith(t, seed, ci, ranks, cpn, pol, shared, false)
 }
 
-func runRandomDAGWith(t *testing.T, seed int64, ci, ranks, cpn int, pol pgas.Policy, shared, overlap bool) bool {
+func runRandomDAGWith(t *testing.T, seed int64, ci, ranks, cpn int, pol pgas.Policy, shared, overlap bool, mut ...func(*Config)) bool {
 	rng := rand.New(rand.NewSource(seed))
 	d := genDAG(rng)
 	want := d.hostRun()
@@ -116,6 +116,9 @@ func runRandomDAGWith(t *testing.T, seed int64, ci, ranks, cpn int, pol pgas.Pol
 		},
 		Seed:    seed ^ int64(ci)<<8,
 		Overlap: overlap,
+	}
+	for _, m := range mut {
+		m(&cfg)
 	}
 	rt := NewRuntime(cfg)
 	got := make([]uint64, d.nCells)

@@ -18,6 +18,7 @@ import (
 	"ityr/internal/core"
 	"ityr/internal/fault"
 	"ityr/internal/pgas"
+	"ityr/internal/trace"
 	"ityr/internal/uth"
 )
 
@@ -49,6 +50,26 @@ func RingFlag() *int {
 func ProcsFlag() *int {
 	return flag.Int("procs", 0,
 		"host engine shards for parallel execution (0 = serial; results are identical either way)")
+}
+
+// ValidateFlag registers -validate, the checkout-discipline validator
+// (Config.Pgas.Validate). Violating runs fail fast with a diagnostic
+// naming the broken rule; clean validated runs are bit-identical to
+// unvalidated ones. Print the report with ReportViolations, or read it
+// from the trace dump's "validator" section via itytrace.
+func ValidateFlag() *bool {
+	return flag.Bool("validate", false,
+		"enforce the checkout-discipline memory-model contract (see PITFALLS.md); violations abort with a diagnostic")
+}
+
+// ReportViolations prints the validator report to stderr and reports
+// whether any violation was recorded. Call it when a run aborts with
+// pgas.ErrViolation (and at the end of validated runs for the clean
+// confirmation line).
+func ReportViolations(rt *core.Runtime) bool {
+	recs := rt.Space().Violations()
+	trace.WriteViolations(os.Stderr, recs)
+	return len(recs) > 0
 }
 
 // BatchFlags registers the cache communication-batching knobs -coalesce

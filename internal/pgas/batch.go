@@ -145,7 +145,12 @@ func (l *Local) issueRuns() []int {
 
 // putRuns writes one merged group of adjacent runs (n total bytes) home as
 // a single nonblocking Put. Multi-run groups stage through a reusable
-// host-side buffer; the copy is bookkeeping, not simulated work.
+// host-side buffer; the copy is bookkeeping, not simulated work. Each
+// run's dirty interval is cleared here, at the Put's copy instant (rma.Put
+// copies host bytes before charging time): a node-mate sharing the cache
+// can check in new dirty bytes while the Put's time charge runs, and a
+// deferred subtract of the stale gathered intervals would silently clear
+// — and so lose — that newer data.
 func (l *Local) putRuns(group []wbRun, n int) {
 	s := l.space
 	bs := uint64(s.cfg.BlockSize)
@@ -168,10 +173,20 @@ func (l *Local) putRuns(group []wbRun, n int) {
 		s.Batch.WBRunsMerged += uint64(len(group) - 1)
 		s.Batch.WBCoalescedBytes += uint64(n)
 	}
+	for _, r := range group {
+		r.cb.Dirty.Subtract(r.iv)
+	}
 	win.Put(l.rank, src, group[0].home, group[0].segOff)
 	s.Stats.WriteBackOps++
 	s.Stats.WriteBackBytes += uint64(n)
 	s.TraceLog.Rec(l.rank.Proc().Now(), l.rank.ID(), trace.KWriteBack, int64(n))
+	// Home-visible from the Put's copy instant (validator ledger).
+	if v := s.val; v != nil {
+		now := l.rank.Proc().Now()
+		for _, r := range group {
+			v.markHomed(r.iv.Lo, r.iv.Hi, now)
+		}
+	}
 }
 
 // resetRuns retires the gathered runs, dropping block references.
@@ -194,13 +209,9 @@ func (l *Local) writeBackCoalesced() bool {
 	if len(l.wbRuns) == 0 {
 		return false
 	}
+	// putRuns clears each run's dirty interval at its Put's copy
+	// instant, so dirty data a node-mate checks in mid-flush survives.
 	targets := l.issueRuns()
-	// Clear exactly what was flushed (the snapshot), not what is dirty
-	// now: a node-mate sharing this cache may have dirtied more data
-	// while the puts advanced virtual time.
-	for i := range l.wbRuns {
-		l.wbRuns[i].cb.Dirty.Subtract(l.wbRuns[i].iv)
-	}
 	for _, t := range targets {
 		l.rank.FlushRank(t)
 	}

@@ -38,21 +38,26 @@ func (l *Local) writeBackAll(cat string) {
 		for _, cb := range l.cache.DirtyBlocks() {
 			// Snapshot the intervals: issuing the puts advances virtual
 			// time, during which a node-mate sharing this cache may
-			// register new dirty regions. Only what we actually flushed is
-			// cleared.
+			// register new dirty regions. Each interval is cleared at its
+			// put's copy instant — rma.Put copies host bytes before
+			// charging time — so a node-mate checkin landing during the
+			// put's time charge re-dirties the block with its newer bytes
+			// and survives to the next write-back, instead of being
+			// silently cleared by a deferred subtract of stale intervals.
 			ivs := append([]region.Interval(nil), cb.Dirty.Intervals()...)
 			for _, iv := range ivs {
+				cb.Dirty.Subtract(iv)
 				l.putDirtyInterval(cb, iv)
 				wrote = true
-			}
-			for _, iv := range ivs {
-				cb.Dirty.Subtract(iv)
 			}
 		}
 		if wrote {
 			l.rank.Flush()
 		}
 	}
+	// No explicit validator hook here: the put paths above already marked
+	// every flushed interval home-visible at its put's copy instant, which
+	// is all the happens-before ledger needs from a release.
 	cur, req := l.CurrentEpoch(), l.requestEpoch()
 	if wrote || cur < req {
 		l.space.epochWin.StoreLocalUint64(l.rank, cur+1, offCurrentEpoch)
@@ -68,6 +73,8 @@ func (l *Local) writeBackAll(cat string) {
 // WriteThrough there is never pending dirty data, so this is (nearly) free.
 func (l *Local) ReleaseFence() {
 	if l.space.cfg.Policy == NoCache {
+		// No cache means nothing to flush (uncached checkins already wrote
+		// home, and the validator marked them home-visible there).
 		return
 	}
 	l.writeBackAll(prof.CatRelease)
@@ -137,6 +144,11 @@ func (l *Local) AcquireWith(h ReleaseHandler) {
 	d := l.rank.Proc().Now() - t0
 	s.prof.AddName(prof.CatAcquire, l.rank.ID(), d)
 	s.MetricAcquireNs.Observe(d)
+	// Record after the poll loop: any lazy write-back this acquire waited
+	// for was homed at an earlier virtual time than this completion.
+	if v := s.val; v != nil {
+		v.onAcquire(l.rank.ID(), l.rank.Proc().Now())
+	}
 }
 
 // AcquireFence executes a plain acquire fence: self-invalidate the cache so
@@ -148,6 +160,9 @@ func (l *Local) AcquireFence() {
 	d := l.rank.Proc().Now() - t0
 	l.space.prof.AddName(prof.CatAcquire, l.rank.ID(), d)
 	l.space.MetricAcquireNs.Observe(d)
+	if v := l.space.val; v != nil {
+		v.onAcquire(l.rank.ID(), l.rank.Proc().Now())
+	}
 }
 
 func (l *Local) invalidateAll() {

@@ -246,6 +246,16 @@ func (l *Local) Checkout(addr Addr, size uint64, mode Mode) ([]byte, error) {
 		return nil, nil
 	}
 
+	// Discipline check before any cache state changes: a violating
+	// checkout fails fast and leaves caches untouched. Registration of the
+	// new access right happens at the success exits below, so failed
+	// checkouts (capacity, range) leave no ghost rights behind.
+	if v := s.val; v != nil {
+		if err := v.onCheckout(l, addr, addr+size, mode); err != nil {
+			return nil, err
+		}
+	}
+
 	if s.cfg.Policy == NoCache {
 		// The paper's baseline: checkout/checkin become GET/PUT on a
 		// freshly allocated user buffer (§6.1).
@@ -256,6 +266,9 @@ func (l *Local) Checkout(addr Addr, size uint64, mode Mode) ([]byte, error) {
 			}
 		}
 		l.outstanding = append(l.outstanding, checkoutRec{addr: addr, size: size, mode: mode, view: view})
+		if v := s.val; v != nil {
+			v.registerCheckout(l, addr, addr+size, mode, t0)
+		}
 		d := l.rank.Proc().Now() - t0
 		s.prof.Add(cat, l.rank.ID(), d)
 		s.MetricCheckoutBytes.Observe(int64(size))
@@ -353,10 +366,27 @@ func (l *Local) Checkout(addr Addr, size uint64, mode Mode) ([]byte, error) {
 			if padded.Hi > limit {
 				padded.Hi = limit
 			}
-			for _, m := range cb.Valid.Missing(padded) {
+			// Each Get advances virtual time (the rma issue cost), and
+			// under a node-shared cache another rank can run inside that
+			// window and check out, write, and check in bytes of this very
+			// block. A missing-list snapshot taken once would then fetch
+			// stale home bytes over the node-mate's freshly checked-in
+			// dirty data — the shared-cache lost write once tracked as a ROADMAP known bug.
+			// So the next missing interval is re-resolved against the
+			// block's *current* valid set immediately before every fetch,
+			// and marked valid at the copy instant: rma.Get copies host
+			// bytes before charging time, so Add-then-Get validates the
+			// bytes atomically in virtual time, and a concurrent
+			// invalidation during the Get's time charge correctly strips
+			// the just-added validity again.
+			for {
+				m, ok := cb.Valid.FirstMissing(padded)
+				if !ok {
+					break
+				}
 				dst := cb.Data[m.Lo-uint64(g0) : m.Hi-uint64(g0)]
-				win.Get(l.rank, homeRank, segOff0+int(m.Lo-uint64(g0)), dst)
 				cb.Valid.Add(m)
+				win.Get(l.rank, homeRank, segOff0+int(m.Lo-uint64(g0)), dst)
 				s.Stats.FetchOps++
 				s.Stats.FetchBytes += m.Len()
 				s.Profile.CheckoutMiss(me, m.Len())
@@ -417,6 +447,9 @@ func (l *Local) Checkout(addr Addr, size uint64, mode Mode) ([]byte, error) {
 	}
 	rec.view = view
 	l.outstanding = append(l.outstanding, rec)
+	if v := s.val; v != nil {
+		v.registerCheckout(l, addr, addr+size, mode, t0)
+	}
 	d := l.rank.Proc().Now() - t0
 	s.prof.Add(cat, l.rank.ID(), d)
 	s.MetricCheckoutBytes.Observe(int64(size))
@@ -494,10 +527,20 @@ func (l *Local) Checkin(addr Addr, size uint64, mode Mode) error {
 		}
 	}
 	if idx < 0 {
+		// The validator can upgrade this to a use-after-checkin diagnostic
+		// when the same right was recently retired (double checkin).
+		if v := s.val; v != nil && size > 0 {
+			if err := v.onMissingCheckin(l, addr, addr+size, mode); err != nil {
+				return err
+			}
+		}
 		return fmt.Errorf("%w: (%#x, %d, %v)", ErrUnmatchedCheckin, addr, size, mode)
 	}
 	rec := l.outstanding[idx]
 	l.outstanding = append(l.outstanding[:idx], l.outstanding[idx+1:]...)
+	if v := s.val; v != nil && size > 0 {
+		v.onCheckin(l, addr, addr+size, mode)
+	}
 
 	// SDC hook: both the NoCache and the cached path below commit
 	// rec.view verbatim, so flipping/folding the view here covers every
@@ -510,6 +553,10 @@ func (l *Local) Checkin(addr Addr, size uint64, mode Mode) error {
 		if mode != Read {
 			if err := l.putFrom(rec.view, addr); err != nil {
 				return err
+			}
+			// Uncached writes land in home memory right here.
+			if v := s.val; v != nil && size > 0 {
+				v.markHomed(addr, addr+size, l.rank.Proc().Now())
 			}
 		}
 		l.putView(rec.view)
@@ -549,7 +596,12 @@ func (l *Local) Checkin(addr Addr, size uint64, mode Mode) error {
 			}
 			p.cb.Ref--
 		} else {
-			// Home path: the copy above already updated home memory.
+			// Home path: the copy above already updated home memory, so a
+			// written piece is home-visible as of this checkin — without
+			// ever being cache-dirty or touching a fence.
+			if v := s.val; v != nil && mode != Read {
+				v.markHomed(uint64(p.g), uint64(p.g)+uint64(p.n), l.rank.Proc().Now())
+			}
 			p.hb.Ref--
 		}
 	}
@@ -584,6 +636,12 @@ func (l *Local) putDirtyInterval(cb *memblock.Block, iv region.Interval) {
 	s.Stats.WriteBackOps++
 	s.Stats.WriteBackBytes += iv.Len()
 	s.TraceLog.Rec(l.rank.Proc().Now(), l.rank.ID(), trace.KWriteBack, int64(iv.Len()))
+	// The put copied the bytes into home memory at the call instant: for
+	// the validator's ledger they are home-visible from now on, whether
+	// this flush came from a fence, cache pressure, or write-through.
+	if v := s.val; v != nil {
+		v.markHomed(iv.Lo, iv.Hi, l.rank.Proc().Now())
+	}
 }
 
 // getInto reads [addr, addr+len(dst)) from home memory into dst — the

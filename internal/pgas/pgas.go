@@ -43,6 +43,8 @@ const (
 	ReadWrite
 )
 
+// String renders the mode name as it appears in diagnostics ("Read",
+// "Write", "ReadWrite").
 func (m Mode) String() string {
 	switch m {
 	case Read:
@@ -74,6 +76,8 @@ const (
 	WriteBackLazy
 )
 
+// String renders the policy name as the paper's figures label it (e.g.
+// "Write-Back (Lazy)").
 func (p Policy) String() string {
 	switch p {
 	case NoCache:
@@ -144,6 +148,16 @@ type Config struct {
 	// never forces a write-back: under cache pressure it simply stops.
 	// 0 (the default) disables prefetching.
 	PrefetchBlocks int
+	// Validate enables the checkout-discipline validator (see validate.go):
+	// every checkout carries tracked access rights, and accesses breaking
+	// the memory-model contract (write-under-read, conflicting-checkouts,
+	// use-after-checkin, unreleased-write) fail fast with ErrViolation,
+	// emit a KViolation trace span, and appear in the itytrace "validator"
+	// report. Validation is pure host-side bookkeeping: it advances no
+	// virtual time, so violation-free validated runs are bit-identical to
+	// unvalidated ones. Off (false, the default) costs one nil check per
+	// checkout/checkin.
+	Validate bool
 }
 
 func (c Config) withDefaults() Config {
@@ -191,6 +205,15 @@ var (
 	ErrUnmatchedCheckin = errors.New("pgas: checkin does not match any outstanding checkout")
 	// ErrOutOfRange reports access outside any live allocation.
 	ErrOutOfRange = errors.New("pgas: address range not within a live global allocation")
+	// ErrViolation reports a checkout-discipline violation detected by the
+	// validator (Config.Validate). The wrapped message names the broken
+	// rule; the full diagnostics are in Space.Violations and, when tracing,
+	// in the dump's validator section.
+	ErrViolation = errors.New("pgas: checkout-discipline violation")
+	// ErrNotQuiescent reports a runtime reconfiguration (Space.SetPolicy,
+	// Space.SetPrefetchBlocks) attempted while some rank still holds
+	// outstanding checkouts or unflushed dirty cache data.
+	ErrNotQuiescent = errors.New("pgas: reconfiguration requires quiescence (no outstanding checkouts or dirty blocks)")
 )
 
 // ReleaseHandler identifies a pending lazy release (Fig. 6): the rank whose

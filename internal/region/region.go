@@ -173,6 +173,38 @@ func (s *Set) Missing(iv Interval) []Interval {
 	return out
 }
 
+// FirstMissing returns the lowest part of iv not covered by the set, and
+// whether one exists. Equivalent to Missing(iv)[0] without allocating: the
+// software cache's fetch loop re-resolves its next missing interval against
+// the block's current valid set before every transfer, because issuing a
+// transfer advances virtual time, during which a node-mate sharing the
+// cache may validate bytes of the same block.
+func (s *Set) FirstMissing(iv Interval) (Interval, bool) {
+	if iv.Empty() {
+		return Interval{}, false
+	}
+	lo := iv.Lo
+	for _, cur := range s.ivs {
+		if cur.Hi <= lo {
+			continue
+		}
+		if cur.Lo >= iv.Hi {
+			break
+		}
+		if cur.Lo > lo {
+			return Interval{lo, min64(cur.Lo, iv.Hi)}, true
+		}
+		lo = max64(lo, cur.Hi)
+		if lo >= iv.Hi {
+			return Interval{}, false
+		}
+	}
+	if lo < iv.Hi {
+		return Interval{lo, iv.Hi}, true
+	}
+	return Interval{}, false
+}
+
 // Overlap returns the parts of iv covered by the set, in ascending order:
 // iv ∩ s.
 func (s *Set) Overlap(iv Interval) []Interval {

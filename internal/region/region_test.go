@@ -210,3 +210,38 @@ func BenchmarkAddFragmented(b *testing.B) {
 		}
 	}
 }
+
+// TestFirstMissing checks the allocation-free single-gap query against the
+// full Missing list across random sets: FirstMissing must return exactly
+// Missing(iv)[0], and report ok=false iff the list is empty.
+func TestFirstMissing(t *testing.T) {
+	var s Set
+	s.Add(Interval{10, 20})
+	s.Add(Interval{30, 40})
+	cases := []Interval{{0, 50}, {12, 18}, {0, 10}, {20, 30}, {15, 35}, {40, 45}, {5, 5}}
+	for _, iv := range cases {
+		miss := s.Missing(iv)
+		got, ok := s.FirstMissing(iv)
+		if ok != (len(miss) > 0) {
+			t.Fatalf("FirstMissing(%v) ok=%v, Missing=%v", iv, ok, miss)
+		}
+		if ok && got != miss[0] {
+			t.Fatalf("FirstMissing(%v) = %v, want %v", iv, got, miss[0])
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		var r Set
+		for k := 0; k < rng.Intn(6); k++ {
+			lo := uint64(rng.Intn(128))
+			r.Add(Interval{lo, lo + uint64(rng.Intn(32))})
+		}
+		lo := uint64(rng.Intn(128))
+		iv := Interval{lo, lo + uint64(rng.Intn(48))}
+		miss := r.Missing(iv)
+		got, ok := r.FirstMissing(iv)
+		if ok != (len(miss) > 0) || (ok && got != miss[0]) {
+			t.Fatalf("set %v FirstMissing(%v) = %v,%v; Missing = %v", r.String(), iv, got, ok, miss)
+		}
+	}
+}

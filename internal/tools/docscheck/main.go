@@ -1,6 +1,8 @@
 // Command docscheck enforces the repo's godoc floor: every Go package must
 // have a package comment, and every exported top-level identifier of the
-// public API (the root ityr package) must have a doc comment. It walks the
+// public API — the root ityr package, plus internal/pgas, whose policy and
+// validator identifiers are the memory-model contract surface DESIGN.md §5
+// and PITFALLS.md reference by name — must have a doc comment. It walks the
 // module from the current directory with go/parser — no build, no network —
 // and exits nonzero listing every violation, so `make docscheck` (and CI)
 // fail when documentation regresses.
@@ -52,8 +54,12 @@ func main() {
 		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
 			pkgDoc[dir] = true
 		}
-		// The root package is the public API: exported decls need docs.
-		if dir == root && f.Name.Name != "main" {
+		// The root package is the public API: exported decls need docs. So
+		// does internal/pgas — its exported policy/validator identifiers
+		// are the names the documented memory-model contract is written in.
+		docedAPI := dir == root && f.Name.Name != "main" ||
+			dir == filepath.Join(root, "internal", "pgas")
+		if docedAPI {
 			bad = append(bad, undocumentedExports(fset, f)...)
 		}
 		return nil

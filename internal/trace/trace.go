@@ -60,6 +60,9 @@ const (
 	// same rule.
 	KReplica
 	KSdcDetect
+	// KViolation was added with the checkout-discipline validator
+	// (pgas.Config.Validate), appended per the same rule.
+	KViolation
 	numKinds
 )
 
@@ -67,7 +70,7 @@ var kindNames = [numKinds]string{
 	"fork", "steal", "failed-steal", "migrate", "release", "lazy-release",
 	"acquire", "cache-miss", "write-back", "eviction", "region-enter", "region-exit",
 	"checkout", "task", "task-end", "join", "retry", "blacklist", "prefetch",
-	"replica", "sdc-detect",
+	"replica", "sdc-detect", "violation",
 }
 
 func (k Kind) String() string {
@@ -98,6 +101,11 @@ func (k Kind) String() string {
 //	             one redundant execution of a protected task segment)
 //	KSdcDetect   Arg = target/victim rank, Arg2 = attempt/replay number
 //	             (instant: a digest or checksum mismatch caught a flip)
+//	KViolation   Arg = validator rule code, Arg2 = offending task ID (span:
+//	             from the conflicting earlier event — the overlapped
+//	             checkout, the retired checkin, or the unreleased write —
+//	             to the access that tripped the rule; full diagnostics
+//	             travel in the dump's validator section)
 //	KEviction    Arg = bytes evicted
 //	KAcquire / KRelease / KMigrate: span over the fence / migration fence
 type Event struct {
@@ -401,6 +409,10 @@ type Meta struct {
 	// Profile, when present, is the run's embedded streaming-profile
 	// snapshot (an "itoyori-profile/v1" document, see internal/profile).
 	Profile json.RawMessage `json:"profile,omitempty"`
+	// Validator, when present, is the run's embedded checkout-discipline
+	// validator snapshot (an "ityr-validator/v1" document; present iff the
+	// run had pgas.Config.Validate on, even when it recorded nothing).
+	Validator json.RawMessage `json:"validator,omitempty"`
 	// Dropped and DroppedByRank surface ring-buffer truncation: the total
 	// overwritten events and the per-rank breakdown (nil when clean).
 	// Filled by ReadDump; WriteDump computes them from the log itself.
@@ -419,6 +431,7 @@ type dumpDoc struct {
 	DroppedByRank []uint64        `json:"dropped_by_rank,omitempty"`
 	Metrics       json.RawMessage `json:"metrics,omitempty"`
 	Profile       json.RawMessage `json:"profile,omitempty"`
+	Validator     json.RawMessage `json:"validator,omitempty"`
 	Events        [][6]int64      `json:"events"`
 }
 
@@ -434,6 +447,7 @@ func (l *Log) WriteDump(w io.Writer, m Meta) error {
 		DroppedByRank: l.DroppedByRank(),
 		Metrics:       m.Metrics,
 		Profile:       m.Profile,
+		Validator:     m.Validator,
 		Events:        make([][6]int64, 0, l.Len()),
 	}
 	if doc.CoresPerNode == 0 && l != nil {
@@ -475,6 +489,7 @@ func ReadDump(r io.Reader) (*Log, Meta, error) {
 		Policy:        doc.Policy,
 		Metrics:       doc.Metrics,
 		Profile:       doc.Profile,
+		Validator:     doc.Validator,
 		Dropped:       doc.Dropped,
 		DroppedByRank: doc.DroppedByRank,
 	}

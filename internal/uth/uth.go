@@ -182,6 +182,17 @@ type Sched struct {
 // a nil log (the default) disables DAG tracing entirely.
 func (s *Sched) SetTrace(tl *trace.Log) { s.tracer = tl }
 
+// CurrentTID returns the trace DAG thread ID of the fork-join thread
+// currently executing on p, or 0 when p is not running one (SPMD mode or
+// scheduler internals). The checkout-discipline validator uses it to name
+// the task segment that owns a global-memory access.
+func (s *Sched) CurrentTID(p *sim.Proc) int64 {
+	if th, ok := s.threadOf[p]; ok {
+		return th.tid
+	}
+	return 0
+}
+
 // traceSeg closes the thread's currently open execution segment — as a
 // KTaskRun span when tracing, as a busy-time rollup when profiling — and
 // opens the next one. No-op without either sink.
