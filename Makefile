@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test shuffle race race-all golden faults sdc validate bench hostperf docscheck linkcheck perf perfgate perf-baseline
+.PHONY: check fmt vet build test shuffle race race-all golden faults sdc validate bench hostperf docscheck linkcheck perf perfgate perf-baseline taskbench taskbench-baseline
 
-check: fmt vet build test shuffle race golden faults sdc validate docscheck linkcheck perfgate
+check: fmt vet build test shuffle race golden faults sdc validate docscheck linkcheck perfgate taskbench
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -90,6 +90,22 @@ perfgate: perf
 # (perfgate fails on unre-baselined improvements too); commit the result.
 perf-baseline:
 	$(GO) run ./cmd/itybench -perf BENCH_baseline.json -scale smoke
+
+# Task Bench workload matrix: graph shape × task grain × scheduling policy
+# at smoke scale, every cell gated against the checked-in
+# BENCH_taskbench.json within ±2% (like perf, the numbers are simulated
+# and bit-identical on every host). The -race parity test then re-runs
+# one cell per scheduler serial vs 4 engine shards and requires identical
+# digests — the sharded-host gate for the scheduler seam.
+taskbench:
+	$(GO) run ./cmd/itybench -taskbench BENCH_taskbench.current.json -scale smoke
+	$(GO) run ./internal/tools/perfgate -schema taskbench -baseline BENCH_taskbench.json -current BENCH_taskbench.current.json
+	$(GO) test -count=1 -race -run 'TestHostProcsParity' ./internal/apps/taskbench
+
+# Regenerate the checked-in matrix baseline after an intentional change;
+# commit the result (TestTaskbenchBaselineFresh fails until you do).
+taskbench-baseline:
+	$(GO) run ./cmd/itybench -taskbench BENCH_taskbench.json -scale smoke
 
 # Documentation gates: every package keeps a package comment (and the public
 # ityr package plus internal/pgas — the memory-model contract surface —

@@ -43,6 +43,7 @@ func main() {
 	hostProcs := obs.ProcsFlag()
 	coalesce, prefetch := obs.BatchFlags()
 	sdc, replicate := obs.SDCFlags()
+	sched := obs.SchedFlag()
 	validate := obs.ValidateFlag()
 	violate := flag.Bool("violate", false,
 		"deliberately break the checkout discipline (write-under-read) instead of sorting — a demo workload for -validate; see EXPERIMENTS.md")
@@ -65,6 +66,10 @@ func main() {
 	}
 	obs.ApplyBatch(&cfg.Pgas, *coalesce, *prefetch)
 	obs.ApplySDC(&cfg, *sdc, *replicate)
+	if err := obs.ApplySched(&cfg, *sched); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cfg.Pgas.Validate = *validate || *violate
 	rt := ityr.NewRuntime(cfg)
 	var sortTime ityr.Time

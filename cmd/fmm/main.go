@@ -34,6 +34,7 @@ func main() {
 	hostProcs := obs.ProcsFlag()
 	coalesce, prefetch := obs.BatchFlags()
 	sdc, replicate := obs.SDCFlags()
+	sched := obs.SchedFlag()
 	validate := obs.ValidateFlag()
 	flag.Parse()
 
@@ -76,6 +77,10 @@ func main() {
 	}
 	obs.ApplyBatch(&cfg.Pgas, *coalesce, *prefetch)
 	obs.ApplySDC(&cfg, *sdc, *replicate)
+	if err := obs.ApplySched(&cfg, *sched); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cfg.Pgas.Validate = *validate
 	rt := ityr.NewRuntime(cfg)
 	var evalTime ityr.Time

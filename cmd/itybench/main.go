@@ -23,6 +23,13 @@
 //	                         # deterministic perf suite: simulated time, RMA
 //	                         # round trips and bytes per experiment, written
 //	                         # as JSON for the perfgate CI job
+//	itybench -taskbench BENCH_taskbench.current.json -scale smoke
+//	                         # Task Bench matrix: graph shape × task grain ×
+//	                         # scheduling policy, one gated cell each, for
+//	                         # the perfgate -schema taskbench CI job
+//	itybench -sched helpfirst -fig 7
+//	                         # any experiment under an alternative scheduling
+//	                         # policy (childfirst | helpfirst | fbc)
 //	itybench -coalesce=false -prefetch 0
 //	                         # run any experiment with the cache
 //	                         # communication batching disabled
@@ -43,7 +50,9 @@ import (
 	"os"
 	"time"
 
+	"ityr"
 	"ityr/internal/bench"
+	"ityr/internal/obs"
 )
 
 func main() {
@@ -56,6 +65,8 @@ func main() {
 	metricsFile := flag.String("metrics", "", "run the canonical cilksort config and write its runtime-metrics JSON snapshot to this file ('-' for stdout)")
 	faultsFile := flag.String("faults", "", "run the apps under the canned fault plans and write the JSON report to this file ('-' for stdout)")
 	perfFile := flag.String("perf", "", "run the deterministic perf suite (simulated time, round trips, RMA bytes per experiment) and write the JSON report to this file ('-' for stdout); gate it with internal/tools/perfgate")
+	taskbenchFile := flag.String("taskbench", "", "run the Task Bench matrix (graph shape × task grain × scheduling policy) and write the itoyori-taskbench/v1 JSON report to this file ('-' for stdout); gate it with perfgate -schema taskbench")
+	sched := obs.SchedFlag()
 	coalesce := flag.Bool("coalesce", true, "coalesce adjacent dirty regions into merged write-back puts (cache communication batching)")
 	prefetch := flag.Int("prefetch", 2, "sequential-access prefetch depth in blocks, 0 to disable (cache communication batching)")
 	scaling := flag.Bool("scaling", false, "run the 64→16K rank-count scaling sweep (halo + cilksort); with -hostperf, adds the 'scaling' section to the JSON report")
@@ -72,7 +83,13 @@ func main() {
 	bench.SetHostProcs(*procs)
 	bench.SetCacheBatching(*coalesce, *prefetch)
 	bench.SetRacks(*racks)
-	if *scaling || *fleet > 0 || *perfFile != "" || *hostperf != "" {
+	pol, err := ityr.ParseSchedPolicy(*sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	bench.SetSchedPolicy(pol)
+	if *scaling || *fleet > 0 || *perfFile != "" || *taskbenchFile != "" || *hostperf != "" {
 		bench.SetHeartbeat(os.Stderr, *heartbeat)
 	}
 
@@ -210,6 +227,28 @@ func main() {
 			out = f
 		}
 		rep := bench.PerfSuite(summary, sc)
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *taskbenchFile != "" {
+		summary := io.Writer(os.Stdout)
+		out := os.Stdout
+		if *taskbenchFile == "-" {
+			summary = os.Stderr
+		} else {
+			f, err := os.Create(*taskbenchFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		rep := bench.TaskbenchSuite(summary, sc)
 		if err := rep.WriteJSON(out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

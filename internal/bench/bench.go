@@ -40,6 +40,13 @@ type Scale struct {
 	FixedRanks   int   // rank count for the cutoff study (Fig. 7)
 	CoresPerNode int
 	MPINodes     []int // node counts for Table 2
+
+	// Task Bench matrix (the -taskbench suite): tasks per step × steps,
+	// the per-cell payload each dependency edge moves, and the
+	// fine/coarse task-grain pair the suite sweeps.
+	TBWidth, TBSteps           int
+	TBEdgeBytes                int
+	TBFineGrain, TBCoarseGrain sim.Time
 }
 
 // Smoke is a tiny scale for harness unit tests.
@@ -59,6 +66,9 @@ var Smoke = Scale{
 	FixedRanks:   8,
 	CoresPerNode: 4,
 	MPINodes:     []int{1, 2, 4},
+
+	TBWidth: 48, TBSteps: 6, TBEdgeBytes: 256,
+	TBFineGrain: 1 * sim.Microsecond, TBCoarseGrain: 20 * sim.Microsecond,
 }
 
 // Quick is the scale used by `go test -bench`.
@@ -78,6 +88,9 @@ var Quick = Scale{
 	FixedRanks:   16,
 	CoresPerNode: 8,
 	MPINodes:     []int{1, 2, 4, 8},
+
+	TBWidth: 128, TBSteps: 10, TBEdgeBytes: 1024,
+	TBFineGrain: 1 * sim.Microsecond, TBCoarseGrain: 50 * sim.Microsecond,
 }
 
 // Full is the paper-regime scale used by cmd/itybench for EXPERIMENTS.md.
@@ -97,6 +110,9 @@ var Full = Scale{
 	FixedRanks:   32,
 	CoresPerNode: 8,
 	MPINodes:     []int{1, 2, 4, 8, 16},
+
+	TBWidth: 256, TBSteps: 16, TBEdgeBytes: 4096,
+	TBFineGrain: 1 * sim.Microsecond, TBCoarseGrain: 100 * sim.Microsecond,
 }
 
 // Row is one measured data point.
@@ -143,6 +159,17 @@ func SetCacheBatching(coalesce bool, prefetch int) {
 	cachePrefetch = prefetch
 }
 
+// schedPolicy is the scheduling-policy knob (the CLIs' shared -sched
+// flag): the discipline every subsequent experiment runtime uses. The
+// default is the paper's child-first policy, which keeps every golden
+// digest valid. The taskbench suite ignores it — it always sweeps the
+// full policy matrix.
+var schedPolicy = ityr.ChildFirst
+
+// SetSchedPolicy sets the scheduling policy for subsequent experiment
+// runs.
+func SetSchedPolicy(p ityr.SchedPolicy) { schedPolicy = p }
+
 // racksNodes is the rack-topology knob (cmd/itybench's -racks flag):
 // nodes per rack for the three-tier network model. 0 — the default —
 // keeps the flat two-tier fabric, so existing experiment outputs are
@@ -176,7 +203,8 @@ func runtimeConfig(ranks, coresPerNode int, pol ityr.Policy, seed int64) ityr.Co
 			CoalesceWriteBack: cacheCoalesce,
 			PrefetchBlocks:    cachePrefetch,
 		},
-		Seed: seed,
+		Sched: ityr.SchedConfig{Policy: schedPolicy},
+		Seed:  seed,
 	}
 	if racksNodes > 0 {
 		net := netmodel.RackDefault(coresPerNode, racksNodes)

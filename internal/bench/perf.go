@@ -128,14 +128,22 @@ func (rep PerfReport) WriteJSON(w io.Writer) error {
 	return enc.Encode(rep)
 }
 
-// ReadPerfReport parses a report written by WriteJSON.
+// ReadPerfReport parses an itoyori-perf/v1 report written by WriteJSON.
 func ReadPerfReport(r io.Reader) (PerfReport, error) {
+	return ReadReport(r, PerfSchema)
+}
+
+// ReadReport parses a report written by WriteJSON and verifies it carries
+// the expected schema (PerfSchema or TaskbenchSchema) — both suites share
+// the report shape, but a perf baseline must never be compared against a
+// taskbench run or vice versa.
+func ReadReport(r io.Reader, schema string) (PerfReport, error) {
 	var rep PerfReport
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
 		return PerfReport{}, fmt.Errorf("bench: parsing perf report: %w", err)
 	}
-	if rep.Schema != PerfSchema {
-		return PerfReport{}, fmt.Errorf("bench: perf report schema %q, want %q", rep.Schema, PerfSchema)
+	if rep.Schema != schema {
+		return PerfReport{}, fmt.Errorf("bench: perf report schema %q, want %q", rep.Schema, schema)
 	}
 	return rep, nil
 }

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ityr"
+	"ityr/internal/apps/taskbench"
+	"ityr/internal/sim"
+)
+
+// The taskbench suite is the workload-matrix counterpart of the perf
+// suite: instead of three hand-picked apps, it sweeps the Task Bench
+// dependency-graph generator over graph shape × task grain × scheduling
+// policy, and gates every cell's simulated time and RMA traffic. A
+// scheduler or cache change that helps stencils but hurts irregular
+// graphs — or helps child-first but regresses help-first — shows up as a
+// per-cell finding rather than averaging away.
+
+// TaskbenchSchema identifies the BENCH_taskbench.json format.
+const TaskbenchSchema = "itoyori-taskbench/v1"
+
+// taskbenchGrains names the two task-grain columns of the matrix.
+var taskbenchGrains = []struct {
+	name  string
+	grain func(Scale) sim.Time
+}{
+	{"fine", func(sc Scale) sim.Time { return sc.TBFineGrain }},
+	{"coarse", func(sc Scale) sim.Time { return sc.TBCoarseGrain }},
+}
+
+// TaskbenchSuite runs the shape × grain × scheduler matrix at sc under
+// the current batching knobs and returns the report (schema
+// itoyori-taskbench/v1, gate it with perfgate -schema taskbench). Every
+// cell is one taskbench.Run on the perf-suite machine geometry; cell
+// names are shape/grain/policy. The suite deliberately ignores the
+// -sched global: the matrix always covers all three policies, and the
+// per-cell checksum is verified to be policy-invariant before any number
+// is reported.
+func TaskbenchSuite(w io.Writer, sc Scale) PerfReport {
+	rep := PerfReport{
+		Schema:      TaskbenchSchema,
+		Scale:       sc.Name,
+		Coalesce:    cacheCoalesce,
+		Prefetch:    cachePrefetch,
+		Experiments: map[string]PerfMetrics{},
+	}
+	fmt.Fprintf(w, "\n== Task Bench matrix (%s scale, %d ranks, W=%d S=%d edge=%dB) ==\n",
+		sc.Name, sc.FixedRanks, sc.TBWidth, sc.TBSteps, sc.TBEdgeBytes)
+	fmt.Fprintf(w, "%-28s %14s %12s %14s %8s\n", "cell", "sim time (ms)", "round trips", "rma bytes", "steals")
+	for si, shape := range taskbench.Shapes {
+		for _, g := range taskbenchGrains {
+			// The checksum is a pure function of the graph; if a policy
+			// disagrees, its schedule broke the program — fail loudly
+			// rather than gating garbage numbers.
+			var checksum uint64
+			for pi, pol := range ityr.SchedPolicies {
+				p := taskbench.Params{
+					Shape:     shape,
+					Width:     sc.TBWidth,
+					Steps:     sc.TBSteps,
+					GrainNs:   g.grain(sc),
+					EdgeBytes: sc.TBEdgeBytes,
+					Seed:      int64(100 + si),
+				}
+				cfg := perfConfig(sc, ityr.WriteBackLazy, int64(300+si))
+				cfg.Sched.Policy = pol
+				res, err := taskbench.Run(cfg, p)
+				if err != nil {
+					panic(fmt.Sprintf("taskbench %v/%s/%v: %v", shape, g.name, pol, err))
+				}
+				if pi == 0 {
+					checksum = res.Checksum
+				} else if res.Checksum != checksum {
+					panic(fmt.Sprintf("taskbench %v/%s: %v checksum %016x != %016x — scheduler broke the program",
+						shape, g.name, pol, res.Checksum, checksum))
+				}
+				name := fmt.Sprintf("%s/%s/%s", shape, g.name, pol)
+				m := perfMetrics(res.Elapsed, res.Stats)
+				rep.Experiments[name] = m
+				fmt.Fprintf(w, "%-28s %14.3f %12d %14d %8d\n", name, ms(res.Elapsed), m.RoundTrips, m.RMABytes, res.Steals)
+			}
+		}
+	}
+	return rep
+}

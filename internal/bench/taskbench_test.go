@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"testing"
+
+	"ityr"
+	"ityr/internal/apps/taskbench"
+)
+
+// TestTaskbenchSuiteMatrix pins the shape of the matrix: every graph
+// shape × task grain × scheduling policy produces exactly one cell, each
+// with a live simulated time and nonzero wire traffic. A shape or policy
+// added to the runtime without joining the gate shows up here.
+func TestTaskbenchSuiteMatrix(t *testing.T) {
+	rep := TaskbenchSuite(io.Discard, Smoke)
+	if rep.Schema != TaskbenchSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, TaskbenchSchema)
+	}
+	if rep.Scale != Smoke.Name {
+		t.Fatalf("scale = %q, want %q", rep.Scale, Smoke.Name)
+	}
+	want := len(taskbench.Shapes) * len(taskbenchGrains) * len(ityr.SchedPolicies)
+	if len(rep.Experiments) != want {
+		t.Fatalf("got %d cells, want %d", len(rep.Experiments), want)
+	}
+	for _, shape := range taskbench.Shapes {
+		for _, g := range taskbenchGrains {
+			for _, pol := range ityr.SchedPolicies {
+				name := fmt.Sprintf("%s/%s/%s", shape, g.name, pol)
+				m, ok := rep.Experiments[name]
+				if !ok {
+					t.Errorf("matrix is missing cell %q", name)
+					continue
+				}
+				if m.SimNs <= 0 || m.RMABytes == 0 {
+					t.Errorf("%s: degenerate cell %+v", name, m)
+				}
+			}
+		}
+	}
+}
+
+// TestTaskbenchSuiteDeterministic is the contract perfgate's ±2% gate
+// rests on: the whole matrix is bit-identical run-to-run, so any drift a
+// CI compare reports is a code change, not noise.
+func TestTaskbenchSuiteDeterministic(t *testing.T) {
+	a := TaskbenchSuite(io.Discard, Smoke)
+	b := TaskbenchSuite(io.Discard, Smoke)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("suite is not deterministic:\n  first:  %+v\n  second: %+v", a, b)
+	}
+}
+
+// TestTaskbenchBaselineFresh requires the checked-in BENCH_taskbench.json
+// to match what the current code produces, cell for cell. Because the
+// simulator is deterministic this is an exact comparison, which makes a
+// CI perfgate failure reproducible locally: if this test fails, the
+// baseline is stale — regenerate it with `make taskbench-baseline` and
+// review the diff as part of the change.
+func TestTaskbenchBaselineFresh(t *testing.T) {
+	f, err := os.Open("../../BENCH_taskbench.json")
+	if err != nil {
+		t.Fatalf("checked-in baseline missing: %v", err)
+	}
+	defer f.Close()
+	base, err := ReadReport(f, TaskbenchSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := TaskbenchSuite(io.Discard, Smoke)
+	if base.Coalesce != cur.Coalesce || base.Prefetch != cur.Prefetch || base.Scale != cur.Scale {
+		t.Fatalf("baseline knobs (scale=%s coalesce=%v prefetch=%d) differ from suite defaults (scale=%s coalesce=%v prefetch=%d)",
+			base.Scale, base.Coalesce, base.Prefetch, cur.Scale, cur.Coalesce, cur.Prefetch)
+	}
+	if len(base.Experiments) != len(cur.Experiments) {
+		t.Errorf("baseline has %d cells, current suite %d — regenerate with `make taskbench-baseline`",
+			len(base.Experiments), len(cur.Experiments))
+	}
+	for name, cm := range cur.Experiments {
+		bm, ok := base.Experiments[name]
+		if !ok {
+			t.Errorf("cell %q absent from baseline — regenerate with `make taskbench-baseline`", name)
+			continue
+		}
+		if bm != cm {
+			t.Errorf("%s: baseline %+v != current %+v — regenerate with `make taskbench-baseline`", name, bm, cm)
+		}
+	}
+}
+
+// TestReadReportSchemaGuard pins that a taskbench report can never be
+// compared against a perf baseline or vice versa: ReadReport (and the
+// perf-flavored ReadPerfReport) reject a report carrying the other
+// suite's schema.
+func TestReadReportSchemaGuard(t *testing.T) {
+	rep := PerfReport{
+		Schema:      TaskbenchSchema,
+		Scale:       "smoke",
+		Experiments: map[string]PerfMetrics{"stencil/fine/childfirst": {SimNs: 1, RoundTrips: 2, RMABytes: 3}},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadReport(bytes.NewReader(raw), TaskbenchSchema); err != nil {
+		t.Fatalf("matching schema rejected: %v", err)
+	}
+	if _, err := ReadReport(bytes.NewReader(raw), PerfSchema); err == nil {
+		t.Error("ReadReport accepted a taskbench report as a perf report")
+	}
+	if _, err := ReadPerfReport(bytes.NewReader(raw)); err == nil {
+		t.Error("ReadPerfReport accepted a taskbench report")
+	}
+}
+
+// TestExplicitChildFirstMatchesPinned is the scheduler-seam golden pin:
+// selecting -sched childfirst explicitly (rather than by default) routes
+// through the same SetSchedPolicy path itybench uses and must reproduce
+// the pre-seam kernel digest bit for bit. Together with
+// TestPinnedKernelDigests (which exercises the default), this pins that
+// introducing the policy seam changed nothing about the paper's
+// child-first schedule.
+func TestExplicitChildFirstMatchesPinned(t *testing.T) {
+	old := schedPolicy
+	defer SetSchedPolicy(old)
+	SetSchedPolicy(ityr.ChildFirst)
+	pol := ityr.WriteBackLazy
+	want := pinnedKernelDigests[pol.String()]
+	if got := kernelDigest(t, Smoke, pol); got != want {
+		t.Errorf("explicit childfirst diverged from the pre-seam capture:\n  pinned: %s\n  got:    %s", want, got)
+	}
+}

@@ -1,8 +1,8 @@
 // Package obs is the shared command-line plumbing for the example
 // binaries (cilksort, fmm, utsmem): the -trace/-metrics/-profile
 // observability flags, the -coalesce/-prefetch cache
-// communication-batching knobs, and the -sdc/-replicate
-// silent-data-corruption knobs.
+// communication-batching knobs, the -sched scheduling-policy selector,
+// and the -sdc/-replicate silent-data-corruption knobs.
 // Each binary registers the flags, applies them to its Config, and calls
 // Write after the run. Keeping this here means every command emits the
 // same file formats (itytrace/v1 and itoyori-metrics/v1) that
@@ -70,6 +70,28 @@ func ReportViolations(rt *core.Runtime) bool {
 	recs := rt.Space().Violations()
 	trace.WriteViolations(os.Stderr, recs)
 	return len(recs) > 0
+}
+
+// SchedFlag registers -sched, the scheduling-policy selector
+// (Config.Sched.Policy), on the default flag set. Registering it here —
+// once, for every CLI — keeps itybench, cilksort, fmm and utsmem
+// flag-consistent: same name, same default, same valid set. Apply the
+// parsed value via ApplySched, which fails fast on unknown spellings.
+func SchedFlag() *string {
+	return flag.String("sched", uth.ChildFirst.String(),
+		"scheduling policy: childfirst (the paper's work-first stealing, default), helpfirst, or fbc (finish-based coordination)")
+}
+
+// ApplySched parses the SchedFlag value into cfg. Unknown values return
+// the parse error listing the valid set; callers should treat it as a
+// usage error (exit 2).
+func ApplySched(cfg *core.Config, s string) error {
+	pol, err := uth.ParseSchedPolicy(s)
+	if err != nil {
+		return err
+	}
+	cfg.Sched.Policy = pol
+	return nil
 }
 
 // BatchFlags registers the cache communication-batching knobs -coalesce

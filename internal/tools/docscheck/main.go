@@ -56,9 +56,14 @@ func main() {
 		}
 		// The root package is the public API: exported decls need docs. So
 		// does internal/pgas — its exported policy/validator identifiers
-		// are the names the documented memory-model contract is written in.
+		// are the names the documented memory-model contract is written in —
+		// and internal/uth and internal/apps/taskbench, whose scheduler-
+		// policy and workload-matrix identifiers DESIGN.md §10 and
+		// EXPERIMENTS.md reference by name.
 		docedAPI := dir == root && f.Name.Name != "main" ||
-			dir == filepath.Join(root, "internal", "pgas")
+			dir == filepath.Join(root, "internal", "pgas") ||
+			dir == filepath.Join(root, "internal", "uth") ||
+			dir == filepath.Join(root, "internal", "apps", "taskbench")
 		if docedAPI {
 			bad = append(bad, undocumentedExports(fset, f)...)
 		}

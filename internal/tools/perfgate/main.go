@@ -16,6 +16,12 @@
 // Usage:
 //
 //	perfgate -baseline BENCH_baseline.json -current BENCH_perf.json [-tol 0.02]
+//	perfgate -schema taskbench -baseline BENCH_taskbench.json -current BENCH_taskbench.current.json
+//
+// The -schema flag selects which report family is being gated: "perf"
+// (itoyori-perf/v1, the app suite) or "taskbench" (itoyori-taskbench/v1,
+// the shape × grain × scheduler matrix). Reports of the wrong schema are
+// rejected before any comparison.
 package main
 
 import (
@@ -30,14 +36,26 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline report")
 	current := flag.String("current", "BENCH_perf.json", "freshly generated report to gate")
 	tol := flag.Float64("tol", 0.02, "relative tolerance per metric (0.02 = ±2%)")
+	schemaName := flag.String("schema", "perf", "report family to gate: perf (itoyori-perf/v1) or taskbench (itoyori-taskbench/v1)")
 	flag.Parse()
 
-	base, err := readReport(*baseline)
+	var schema string
+	switch *schemaName {
+	case "perf":
+		schema = bench.PerfSchema
+	case "taskbench":
+		schema = bench.TaskbenchSchema
+	default:
+		fmt.Fprintf(os.Stderr, "perfgate: unknown -schema %q (valid: perf, taskbench)\n", *schemaName)
+		os.Exit(2)
+	}
+
+	base, err := readReport(*baseline, schema)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "perfgate:", err)
 		os.Exit(1)
 	}
-	cur, err := readReport(*current)
+	cur, err := readReport(*current, schema)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "perfgate:", err)
 		os.Exit(1)
@@ -55,13 +73,13 @@ func main() {
 		len(base.Experiments), 100**tol, base.Scale)
 }
 
-func readReport(path string) (bench.PerfReport, error) {
+func readReport(path, schema string) (bench.PerfReport, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return bench.PerfReport{}, err
 	}
 	defer f.Close()
-	rep, err := bench.ReadPerfReport(f)
+	rep, err := bench.ReadReport(f, schema)
 	if err != nil {
 		return bench.PerfReport{}, fmt.Errorf("%s: %w", path, err)
 	}

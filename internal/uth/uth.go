@@ -58,18 +58,38 @@ type Hooks interface {
 // tests and memory-free workloads.
 type NopHooks struct{}
 
-func (NopHooks) Poll(int)              {}
-func (NopHooks) OnFork(int) any        { return nil }
-func (NopHooks) OnSteal(int, any)      {}
-func (NopHooks) OnSuspend(int)         {}
+// Poll does nothing.
+func (NopHooks) Poll(int) {}
+
+// OnFork returns a nil handler.
+func (NopHooks) OnFork(int) any { return nil }
+
+// OnSteal does nothing.
+func (NopHooks) OnSteal(int, any) {}
+
+// OnSuspend does nothing.
+func (NopHooks) OnSuspend(int) {}
+
+// OnChildStolenDone does nothing.
 func (NopHooks) OnChildStolenDone(int) {}
-func (NopHooks) OnMigrateArrive(int)   {}
+
+// OnMigrateArrive does nothing.
+func (NopHooks) OnMigrateArrive(int) {}
 
 // Config tunes the scheduler.
 type Config struct {
+	// Policy selects the scheduling discipline. The zero value is
+	// ChildFirst — the paper's child-first (work-first) work stealing,
+	// and the policy every golden digest is pinned against. See
+	// SchedPolicy for HelpFirst and FBC.
+	Policy SchedPolicy
 	// StackBytes models the call-stack payload moved by a steal
 	// (uni-address stack transfer).
 	StackBytes int
+	// TaskBytes models the descriptor payload moved when a thief steals
+	// a pending (not-yet-started) task under HelpFirst and FBC (default
+	// 256). Child-first steals always move live stacks (StackBytes).
+	TaskBytes int
 	// Seed seeds the per-worker victim-selection PRNGs.
 	Seed int64
 	// LocalityAware makes thieves try same-node victims (cheap steals,
@@ -100,6 +120,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.StackBytes == 0 {
 		c.StackBytes = 2048
+	}
+	if c.TaskBytes == 0 {
+		c.TaskBytes = 256
 	}
 	if c.StealTimeout == 0 {
 		c.StealTimeout = 20 * sim.Microsecond
@@ -157,6 +180,10 @@ type Sched struct {
 
 	// Stats holds cumulative scheduler statistics.
 	Stats Stats
+
+	// PolicyStats holds counters specific to the non-default scheduling
+	// policies; always zero under ChildFirst (see PolicyStats).
+	PolicyStats PolicyStats
 
 	// tracer, when non-nil, receives the fork-join DAG: KTaskRun spans for
 	// executed task segments, KFork/KJoin/KTaskEnd edges carrying thread
@@ -219,11 +246,7 @@ func (s *Sched) traceEnd(th *thread, rank int, now sim.Time) {
 	if s.tracer == nil {
 		return
 	}
-	var ptid int64
-	if th.parent != nil {
-		ptid = th.parent.th.tid
-	}
-	s.tracer.Rec2(now, rank, trace.KTaskEnd, th.tid, ptid)
+	s.tracer.Rec2(now, rank, trace.KTaskEnd, th.tid, th.ptid)
 }
 
 // NewSched creates the scheduler over comm.
@@ -262,6 +285,10 @@ type Worker struct {
 	// each becomes runnable on this rank at its wake time.
 	ready []timedThread
 
+	// runnable holds join waiters woken in place by FBC completion
+	// notifications; always empty under the other policies.
+	runnable []*thread
+
 	// Victim-blacklist state (allocated only under Config.VictimBlacklist):
 	// consecutive strikes, the time until which each victim is skipped,
 	// and its current doubling penalty duration.
@@ -276,10 +303,13 @@ type timedThread struct {
 	until sim.Time
 }
 
-// entry is a stealable parent continuation parked at a fork point.
+// entry is a stealable deque item: under ChildFirst a parent continuation
+// parked at a fork point; under HelpFirst/FBC a pending child task whose
+// body has not started yet (fn non-nil until it runs).
 type entry struct {
 	th      *thread
-	handler any // Release #1 handler for the eventual thief
+	handler any       // Release #1 handler for the eventual thief
+	fn      func(*TB) // pending task body; nil once started (and always under ChildFirst)
 	taken   bool
 }
 
@@ -296,9 +326,11 @@ type thread struct {
 	joinWaiter *thread
 	waiterRank int
 
-	// tid is the thread's stable ID in the trace DAG (root = 1); segStart
-	// is where the currently open KTaskRun segment began.
+	// tid is the thread's stable ID in the trace DAG (root = 1), ptid its
+	// parent's (0 for the root); segStart is where the currently open
+	// KTaskRun segment began.
 	tid      int64
+	ptid     int64
 	segStart sim.Time
 }
 
@@ -395,7 +427,23 @@ func (w *Worker) schedLoop() {
 			backoff = backoffMin
 			continue
 		}
+		// FBC completion notifications wake blocked joins in place; the
+		// queue is always empty under the other policies.
+		if th := w.popRunnable(); th != nil {
+			s.PolicyStats.FBCWakes++
+			w.resumeHere(th, th.fenceOnResume)
+			backoff = backoffMin
+			continue
+		}
 		if e := w.popBottom(); e != nil {
+			if e.fn != nil {
+				// A pending child we forked (help-first): start it here.
+				// Same rank as the forker ⇒ no fences.
+				s.PolicyStats.PendingRuns++
+				w.runPending(e)
+				backoff = backoffMin
+				continue
+			}
 			// A blocked thread left this continuation behind: run it
 			// locally. Same rank ⇒ no fences (§5.1).
 			w.resumeHere(e.th, false)
@@ -495,8 +543,17 @@ func (w *Worker) trySteal() bool {
 	if net.SameNode(me, vID) {
 		s.Stats.IntraSteals++
 	}
-	s.Stats.Migrations++
-	w.rank.ChargeTransfer(vID, s.cfg.StackBytes)
+	// A started continuation migrates its live stack; a pending task
+	// (help-first/FBC) moves only its descriptor and migrates nothing —
+	// the thread has never run anywhere yet.
+	bytes := s.cfg.StackBytes
+	if e.fn != nil {
+		bytes = s.cfg.TaskBytes
+		s.PolicyStats.PendingSteals++
+	} else {
+		s.Stats.Migrations++
+	}
+	w.rank.ChargeTransfer(vID, bytes)
 	// Acquire #2 (with the victim's Release #1 handler) happens here on
 	// the thief; the resumed thread needs no further fence.
 	s.hooks.OnSteal(me, e.handler)
@@ -509,6 +566,10 @@ func (w *Worker) trySteal() bool {
 	}
 	s.Profile.Span(me, profile.SpanSteal, t0, d)
 	w.noteStealOutcome(vID, d, true)
+	if e.fn != nil {
+		w.runPending(e)
+		return true
+	}
 	w.resumeHere(e.th, false)
 	return true
 }
@@ -612,6 +673,9 @@ func (w *Worker) pickVictim() int {
 // returns when the caller is next scheduled — on this rank if the
 // continuation was not stolen, on the thief's rank otherwise.
 func (tb *TB) Fork(fn func(*TB)) *Thread {
+	if tb.w.sched.cfg.Policy != ChildFirst {
+		return tb.forkHelpFirst(fn)
+	}
 	w := tb.w
 	s := w.sched
 	s.hooks.Poll(w.rank.ID())
@@ -624,7 +688,7 @@ func (tb *TB) Fork(fn func(*TB)) *Thread {
 	w.deque = append(w.deque, e)
 
 	s.nextTID++
-	child := &thread{worker: w, parent: e, tid: s.nextTID}
+	child := &thread{worker: w, parent: e, ptid: tb.th.tid, tid: s.nextTID}
 	if s.tracer != nil || s.Profile != nil {
 		// Close the parent's segment first so its path length is current
 		// at the fork edge, then record the edge itself (the edge is a
@@ -659,7 +723,7 @@ func (th *thread) finish(w *Worker) {
 	th.done = true
 	th.doneRank = w.rank.ID()
 	pe := th.parent
-	if !pe.taken && len(w.deque) > 0 && w.deque[len(w.deque)-1] == pe {
+	if pe != nil && !pe.taken && len(w.deque) > 0 && w.deque[len(w.deque)-1] == pe {
 		// Fast path: the parent's continuation is still at the bottom of
 		// our deque — resume it as a serialized call, no fences (§5.1).
 		w.deque = w.deque[:len(w.deque)-1]
@@ -670,13 +734,29 @@ func (th *thread) finish(w *Worker) {
 		pe.th.proc.Wake()
 		return
 	}
-	// Slow path: the parent was stolen. Publish our writes (Release #2).
+	// Slow path: the parent was stolen (or, under help-first spawning,
+	// never parked at a fork point at all). Publish our writes
+	// (Release #2).
 	s.hooks.OnChildStolenDone(w.rank.ID())
 	if th.joinWaiter != nil {
-		// The parent is blocked at Join: migrate it here. It needs
-		// Acquire #1 on arrival unless it suspended on this very rank.
 		waiter := th.joinWaiter
 		th.joinWaiter = nil
+		if s.cfg.Policy == FBC {
+			// Finish-based coordination: the waiter never migrates. Post
+			// a completion notification — a remote atomic on the join
+			// counter living on the waiter's rank — and let its own
+			// scheduler resume it in place. It still owes Acquire #1
+			// unless our writes were released on its rank.
+			w.rank.ChargeAtomic(th.waiterRank)
+			waiter.worker = s.workers[th.waiterRank]
+			waiter.fenceOnResume = th.waiterRank != w.rank.ID()
+			s.workers[th.waiterRank].runnable = append(s.workers[th.waiterRank].runnable, waiter)
+			w.rank.Attach(w.proc)
+			w.proc.Wake()
+			return
+		}
+		// The parent is blocked at Join: migrate it here. It needs
+		// Acquire #1 on arrival unless it suspended on this very rank.
 		waiter.worker = w
 		waiter.fenceOnResume = th.waiterRank != w.rank.ID()
 		if waiter.fenceOnResume {
@@ -754,6 +834,7 @@ func (tb *TB) Yield() {
 	tb.w.sched.hooks.Poll(tb.w.rank.ID())
 }
 
+// String summarizes the scheduler counters for log lines.
 func (s *Sched) String() string {
 	return fmt.Sprintf("sched{forks=%d steals=%d failed=%d migrations=%d}",
 		s.Stats.Forks, s.Stats.Steals, s.Stats.FailedSteals, s.Stats.Migrations)

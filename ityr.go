@@ -60,6 +60,8 @@ type (
 	PgasConfig = pgas.Config
 	// SchedConfig tunes the work-stealing scheduler.
 	SchedConfig = uth.Config
+	// SchedPolicy selects the scheduling discipline (Config.Sched.Policy).
+	SchedPolicy = uth.SchedPolicy
 	// SDCConfig tunes selective task replication (silent-data-corruption
 	// detection); set Config.SDC to enable it.
 	SDCConfig = uth.SDCConfig
@@ -92,6 +94,22 @@ const (
 
 // Policies lists all cache policies in the paper's plotting order.
 var Policies = pgas.Policies
+
+// Scheduling policies (Config.Sched.Policy). ChildFirst is the paper's
+// discipline and the default; HelpFirst and FBC are the Task Bench study's
+// alternatives.
+const (
+	ChildFirst = uth.ChildFirst
+	HelpFirst  = uth.HelpFirst
+	FBC        = uth.FBC
+)
+
+// SchedPolicies lists all scheduling policies in -sched flag order.
+var SchedPolicies = uth.SchedPolicies
+
+// ParseSchedPolicy maps a -sched flag spelling to its policy, listing the
+// valid set on error.
+func ParseSchedPolicy(s string) (SchedPolicy, error) { return uth.ParseSchedPolicy(s) }
 
 // NewRuntime builds a runtime from cfg.
 func NewRuntime(cfg Config) *Runtime { return core.NewRuntime(cfg) }
